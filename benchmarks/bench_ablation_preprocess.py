@@ -1,0 +1,52 @@
+"""Ablation benchmark: absorption-only vs partition-only vs both.
+
+Times the preprocessing pipeline variants on block-zipf data and asserts
+the structural claims of Section 5 (partition bounds component size,
+absorption never changes the answer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.preprocess import preprocess
+
+
+@pytest.fixture(scope="module")
+def parts(blockzipf1k_engine):
+    engine = blockzipf1k_engine
+    return engine.preferences, list(engine.dataset.others(0)), engine.dataset[0]
+
+
+@pytest.mark.parametrize(
+    "label,use_absorption,use_partition",
+    [
+        ("absorption_only", True, False),
+        ("partition_only", False, True),
+        ("both", True, True),
+    ],
+)
+def test_preprocess_variants(benchmark, parts, label, use_absorption, use_partition):
+    preferences, competitors, target = parts
+    prep = benchmark.pedantic(
+        preprocess, args=(competitors, target),
+        kwargs={
+            "preferences": preferences,
+            "use_absorption": use_absorption,
+            "use_partition": use_partition,
+        },
+        rounds=3, iterations=1,
+    )
+    assert prep.kept_count <= len(competitors)
+
+
+def test_partition_bounds_component_size(parts):
+    preferences, competitors, target = parts
+    both = preprocess(competitors, target, preferences=preferences)
+    none = preprocess(
+        competitors, target, preferences=preferences,
+        use_absorption=False, use_partition=False,
+    )
+    assert both.largest_partition < none.largest_partition
+    # blocks of ~8 objects: partitions must stay block-bounded
+    assert both.largest_partition <= 32

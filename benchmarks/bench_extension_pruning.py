@@ -1,0 +1,68 @@
+"""Extension benchmark: bounded top-k vs exhaustive top-k (§8 future work).
+
+Measures the benefit of the cheap Harris/disjoint-set bounds: the pruned
+evaluation refines only a fraction of the objects yet returns the same
+ranking as scoring everything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SkylineProbabilityEngine
+from repro.core.pruning import skyline_probability_bounds, top_k_pruned
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.procedural import HashedPreferenceModel
+
+K = 5
+
+
+@pytest.fixture(scope="module")
+def parts():
+    dataset = block_zipf_dataset(120, 4, seed=51)
+    preferences = HashedPreferenceModel(4, seed=52)
+    return dataset, preferences
+
+
+def test_bounds_pass(benchmark, parts):
+    dataset, preferences = parts
+
+    def all_bounds():
+        return [
+            skyline_probability_bounds(
+                preferences, dataset.others(index), dataset[index]
+            )
+            for index in range(len(dataset))
+        ]
+
+    bounds = benchmark.pedantic(all_bounds, rounds=3, iterations=1)
+    assert all(lower <= upper for lower, upper in bounds)
+
+
+def test_topk_exhaustive(benchmark, parts):
+    dataset, preferences = parts
+    engine = SkylineProbabilityEngine(dataset, preferences)
+    ranking = benchmark.pedantic(
+        engine.top_k, args=(K,), kwargs={"method": "det+"},
+        rounds=3, iterations=1,
+    )
+    assert len(ranking) == K
+
+
+def test_topk_pruned(benchmark, parts):
+    dataset, preferences = parts
+    result = benchmark.pedantic(
+        top_k_pruned, args=(dataset, preferences, K),
+        kwargs={"method": "det+"}, rounds=3, iterations=1,
+    )
+    assert len(result.ranking) == K
+    assert result.pruned > 0
+
+
+def test_rankings_identical(parts):
+    dataset, preferences = parts
+    engine = SkylineProbabilityEngine(dataset, preferences)
+    assert (
+        list(top_k_pruned(dataset, preferences, K, method="det+").ranking)
+        == engine.top_k(K, method="det+")
+    )

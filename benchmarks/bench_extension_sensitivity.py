@@ -1,0 +1,73 @@
+"""Extension benchmark: exact sensitivity vs naive probability sweeps.
+
+The multilinear profile answers any what-if about one preference pair
+after three pinned exact evaluations; the naive alternative re-runs the
+exact algorithm once per probed probability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exact import skyline_probability_det
+from repro.core.sensitivity import preference_sensitivity
+from repro.data.procedural import HashedPreferenceModel
+from repro.data.uniform import uniform_dataset
+
+PROBE_POINTS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+
+
+@pytest.fixture(scope="module")
+def parts():
+    dataset = uniform_dataset(12, 4, seed=81)
+    preferences = HashedPreferenceModel(4, seed=82)
+    competitors = list(dataset.others(0))
+    target = dataset[0]
+    pair = (0, competitors[0][0], target[0])
+    return preferences, competitors, target, pair
+
+
+def test_sensitivity_profile(benchmark, parts):
+    preferences, competitors, target, (dim, a, b) = parts
+    sensitivity = benchmark(
+        preference_sensitivity, preferences, competitors, target, dim, a, b
+    )
+    # answering all probe points afterwards is free
+    values = [sensitivity.at(p, min(0.2, 1 - p)) for p in PROBE_POINTS]
+    assert all(0.0 <= value <= 1.0 for value in values)
+
+
+def test_naive_probability_sweep(benchmark, parts):
+    preferences, competitors, target, (dim, a, b) = parts
+
+    def sweep():
+        values = []
+        for probability in PROBE_POINTS:
+            adjusted = preferences.copy()
+            adjusted.set_preference(dim, a, b, probability, min(0.2, 1 - probability))
+            values.append(
+                skyline_probability_det(
+                    adjusted, competitors, target
+                ).probability
+            )
+        return values
+
+    values = benchmark(sweep)
+    assert len(values) == len(PROBE_POINTS)
+
+
+def test_profile_matches_sweep(parts):
+    preferences, competitors, target, (dim, a, b) = parts
+    sensitivity = preference_sensitivity(
+        preferences, competitors, target, dim, a, b
+    )
+    for probability in PROBE_POINTS:
+        backward = min(0.2, 1 - probability)
+        adjusted = preferences.copy()
+        adjusted.set_preference(dim, a, b, probability, backward)
+        direct = skyline_probability_det(
+            adjusted, competitors, target
+        ).probability
+        assert sensitivity.at(probability, backward) == pytest.approx(
+            direct, abs=1e-9
+        )

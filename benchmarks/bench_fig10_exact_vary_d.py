@@ -1,0 +1,37 @@
+"""Benchmark: Figure 10 — Det vs Det+ while the dimensionality grows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SkylineProbabilityEngine
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.procedural import HashedPreferenceModel
+from repro.data.uniform import uniform_dataset
+
+
+@pytest.mark.parametrize("d", [2, 3, 4, 5])
+def test_det_uniform_vary_d(benchmark, d):
+    dataset = uniform_dataset(14, d, seed=101 + d)
+    engine = SkylineProbabilityEngine(dataset, HashedPreferenceModel(d, seed=102))
+    report = benchmark(engine.skyline_probability, 0, method="det")
+    assert report.exact
+
+
+@pytest.mark.parametrize("d", [2, 3, 4, 5])
+def test_det_plus_uniform_vary_d(benchmark, d):
+    dataset = uniform_dataset(14, d, seed=101 + d)
+    engine = SkylineProbabilityEngine(dataset, HashedPreferenceModel(d, seed=102))
+    report = benchmark(engine.skyline_probability, 0, method="det+")
+    assert report.exact
+
+
+@pytest.mark.parametrize("d", [2, 5])
+def test_det_plus_blockzipf_vary_d(benchmark, d):
+    dataset = block_zipf_dataset(500, d, seed=104 + d)
+    engine = SkylineProbabilityEngine(dataset, HashedPreferenceModel(d, seed=105))
+    report = benchmark.pedantic(
+        engine.skyline_probability, args=(0,), kwargs={"method": "det+"},
+        rounds=3, iterations=1,
+    )
+    assert report.exact

@@ -1,0 +1,42 @@
+"""Benchmark: Figure 11 — sampling cost/accuracy across sample sizes.
+
+Times `Sam` at the figure's sample-size sweep on block-zipf data and
+asserts the error trend against the exact (Det+) value: m = 3000 must
+already be inside the paper's epsilon = 0.01.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sampling import skyline_probability_sampled
+
+
+@pytest.fixture(scope="module")
+def parts(blockzipf200_engine):
+    engine = blockzipf200_engine
+    exact = engine.skyline_probability(0, method="det+").probability
+    return engine, list(engine.dataset.others(0)), engine.dataset[0], exact
+
+
+@pytest.mark.parametrize("samples", [100, 1000, 3000, 10000])
+def test_sam_sample_sizes(benchmark, parts, samples):
+    engine, competitors, target, _ = parts
+    result = benchmark(
+        skyline_probability_sampled,
+        engine.preferences, competitors, target,
+        samples=samples, seed=samples,
+    )
+    assert result.samples == samples
+
+
+def test_error_at_3000_samples_within_bound(parts):
+    engine, competitors, target, exact = parts
+    errors = []
+    for seed in range(5):
+        estimate = skyline_probability_sampled(
+            engine.preferences, competitors, target,
+            samples=3000, seed=seed,
+        ).estimate
+        errors.append(abs(estimate - exact))
+    assert sum(errors) / len(errors) <= 0.01  # the paper's empirical claim

@@ -1,0 +1,53 @@
+"""Benchmark: Figure 12 — accuracy at the paper's settings (m = 3000).
+
+Times the full Sam+ pipeline (preprocess + sample) at the figure's data
+points and asserts that the mean absolute error stays below the paper's
+epsilon = 0.01 on block-zipf data of varying n and d.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SkylineProbabilityEngine
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.procedural import HashedPreferenceModel
+
+
+def _engine(n, d, seed):
+    dataset = block_zipf_dataset(n, d, seed=seed)
+    return SkylineProbabilityEngine(dataset, HashedPreferenceModel(d, seed=seed + 1))
+
+
+@pytest.mark.parametrize("n", [100, 1000])
+def test_sam_plus_vary_n(benchmark, n):
+    engine = _engine(n, 5, seed=121 + n)
+    report = benchmark.pedantic(
+        engine.skyline_probability, args=(0,),
+        kwargs={"method": "sam+", "samples": 3000, "seed": 1},
+        rounds=3, iterations=1,
+    )
+    assert report.samples == 3000
+
+
+@pytest.mark.parametrize("d", [2, 5])
+def test_sam_plus_vary_d(benchmark, d):
+    engine = _engine(300, d, seed=125 + d)
+    report = benchmark.pedantic(
+        engine.skyline_probability, args=(0,),
+        kwargs={"method": "sam+", "samples": 3000, "seed": 1},
+        rounds=3, iterations=1,
+    )
+    assert report.samples == 3000
+
+
+def test_mean_error_below_paper_epsilon():
+    engine = _engine(300, 5, seed=129)
+    errors = []
+    for index in range(8):
+        exact = engine.skyline_probability(index, method="det+").probability
+        estimate = engine.skyline_probability(
+            index, method="sam+", samples=3000, seed=index
+        ).probability
+        errors.append(abs(estimate - exact))
+    assert sum(errors) / len(errors) <= 0.01

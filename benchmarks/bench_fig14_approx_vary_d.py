@@ -1,0 +1,37 @@
+"""Benchmark: Figure 14 — Det+ vs Sam vs Sam+ across dimensionalities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SkylineProbabilityEngine
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.procedural import HashedPreferenceModel
+from repro.data.uniform import uniform_dataset
+
+SAMPLES = 3000
+
+
+@pytest.mark.parametrize("method", ["det+", "sam", "sam+"])
+@pytest.mark.parametrize("d", [2, 5])
+def test_uniform_vary_d(benchmark, method, d):
+    dataset = uniform_dataset(14, d, seed=141 + d)
+    engine = SkylineProbabilityEngine(dataset, HashedPreferenceModel(d, seed=142))
+    report = benchmark(
+        engine.skyline_probability, 0,
+        method=method, samples=SAMPLES, seed=1,
+    )
+    assert 0.0 <= report.probability <= 1.0
+
+
+@pytest.mark.parametrize("method", ["det+", "sam", "sam+"])
+@pytest.mark.parametrize("d", [2, 5])
+def test_blockzipf_vary_d(benchmark, method, d):
+    dataset = block_zipf_dataset(500, d, seed=144 + d)
+    engine = SkylineProbabilityEngine(dataset, HashedPreferenceModel(d, seed=145))
+    report = benchmark.pedantic(
+        engine.skyline_probability, args=(0,),
+        kwargs={"method": method, "samples": SAMPLES, "seed": 1},
+        rounds=3, iterations=1,
+    )
+    assert 0.0 <= report.probability <= 1.0

@@ -1,0 +1,45 @@
+"""Benchmark: Figure 6 — the dismissed tentative approximations A1/A2.
+
+Times A1 (exact over the top-t dominators) and A2 (truncated
+inclusion-exclusion) on a uniform workload and asserts their failure
+modes: A1's cost explodes with t, A2's error exceeds 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import skyline_probability_a1, skyline_probability_a2
+from repro.data.procedural import HashedPreferenceModel
+from repro.data.uniform import uniform_dataset
+
+
+@pytest.fixture(scope="module")
+def parts():
+    dataset = uniform_dataset(100, 5, seed=61)
+    preferences = HashedPreferenceModel(5, seed=62)
+    return preferences, list(dataset.others(0)), dataset[0]
+
+
+@pytest.mark.parametrize("top", [5, 10, 15])
+def test_a1_topk(benchmark, parts, top):
+    preferences, competitors, target = parts
+    value = benchmark(
+        skyline_probability_a1, preferences, competitors, target, top
+    )
+    assert 0.0 <= value <= 1.0
+
+
+@pytest.mark.parametrize("terms", [100, 10_000])
+def test_a2_truncation(benchmark, parts, terms):
+    preferences, competitors, target = parts
+    benchmark(skyline_probability_a2, preferences, competitors, target, terms)
+
+
+def test_a2_error_exceeds_one(parts):
+    """Figure 6b's verdict: truncation is worse than guessing."""
+    preferences, competitors, target = parts
+    value = skyline_probability_a2(
+        preferences, competitors, target, max_terms=len(competitors)
+    )
+    assert abs(value - 0.5) > 1.0  # further from any valid probability

@@ -1,0 +1,54 @@
+"""Benchmark: Table 1 — workload generation cost.
+
+Times the synthetic generators at the Table-1 parameter points (scaled)
+plus the exact Nursery reconstruction; Figure 8's preference-induced
+correlation is exercised through the lazily ranked model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.nursery import nursery_dataset
+from repro.data.prefgen import random_preferences
+from repro.data.procedural import LazyRankedPreferenceModel
+from repro.data.uniform import uniform_dataset
+
+
+@pytest.mark.parametrize("n", [10, 50])
+def test_generate_uniform(benchmark, n):
+    dataset = benchmark(uniform_dataset, n, 5, seed=n)
+    assert dataset.cardinality == n
+
+
+@pytest.mark.parametrize("n", [100, 1000])
+def test_generate_blockzipf(benchmark, n):
+    dataset = benchmark(block_zipf_dataset, n, 5, seed=n)
+    assert dataset.cardinality == n
+
+
+def test_generate_nursery_full(benchmark):
+    dataset = benchmark(nursery_dataset)
+    assert dataset.cardinality == 12960
+
+
+def test_generate_random_preferences(benchmark):
+    dataset = uniform_dataset(50, 5, seed=0)
+    model = benchmark(random_preferences, dataset, seed=1)
+    assert model.pair_count() > 0
+
+
+def test_figure8_correlated_preference_lookup(benchmark):
+    """Figure 8: correlation is induced by (lazy) ranked preferences."""
+    dataset = block_zipf_dataset(500, 2, seed=2)
+    model = LazyRankedPreferenceModel(2, 0.9, flip_dimensions=(1,))
+    values = sorted(dataset.values_on(0), key=repr)
+
+    def lookup_all():
+        total = 0.0
+        for a, b in zip(values, values[1:]):
+            total += model.prob_prefers(0, a, b)
+        return total
+
+    assert benchmark(lookup_all) > 0.0

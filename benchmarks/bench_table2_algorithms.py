@@ -1,0 +1,66 @@
+"""Benchmark: Table 2 — the four algorithms on one reference workload.
+
+Block-zipf 200x5d, one shared target object; Det is represented by its
+per-partition kernel (raw Det on 199 competitors exceeds any budget —
+that is the point of Table 2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import skyline_probability_sac
+
+
+@pytest.fixture(scope="module")
+def target_parts(blockzipf200_engine):
+    engine = blockzipf200_engine
+    return engine, list(engine.dataset.others(0)), engine.dataset[0]
+
+
+def test_det_plus(benchmark, target_parts):
+    engine, _, _ = target_parts
+    report = benchmark(engine.skyline_probability, 0, method="det+")
+    assert report.exact
+
+
+def test_sam(benchmark, target_parts):
+    engine, _, _ = target_parts
+    report = benchmark(
+        engine.skyline_probability, 0, method="sam", samples=3000, seed=1
+    )
+    assert report.samples == 3000
+
+
+def test_sam_plus(benchmark, target_parts):
+    engine, _, _ = target_parts
+    report = benchmark(
+        engine.skyline_probability, 0, method="sam+", samples=3000, seed=1
+    )
+    assert report.samples == 3000
+
+
+def test_auto(benchmark, target_parts):
+    engine, _, _ = target_parts
+    report = benchmark(engine.skyline_probability, 0, method="auto")
+    assert report.exact
+
+
+def test_sac_baseline(benchmark, target_parts):
+    engine, competitors, target = target_parts
+    value = benchmark(
+        skyline_probability_sac, engine.preferences, competitors, target
+    )
+    assert 0.0 <= value <= 1.0
+
+
+def test_table2_agreement(target_parts):
+    """Det+/auto identical; Sam within its epsilon of the exact value."""
+    engine, _, _ = target_parts
+    exact = engine.skyline_probability(0, method="det+").probability
+    auto = engine.skyline_probability(0, method="auto").probability
+    sam = engine.skyline_probability(
+        0, method="sam", samples=26492, seed=2
+    ).probability
+    assert auto == pytest.approx(exact)
+    assert sam == pytest.approx(exact, abs=0.02)

@@ -1,0 +1,33 @@
+"""Benchmark: Theorem 1 — counting DNF models through the skyline oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity.dnf import PositiveDNF
+from repro.complexity.reduction import count_models_via_skyline
+
+
+@pytest.mark.parametrize("variables,clauses", [(8, 6), (12, 10)])
+def test_count_via_skyline(benchmark, variables, clauses):
+    formula = PositiveDNF.random(
+        variables, clauses, min_clause_size=2,
+        max_clause_size=variables // 2, seed=variables,
+    )
+    count = benchmark(count_models_via_skyline, formula)
+    assert count == formula.count_satisfying()
+
+
+@pytest.mark.parametrize("variables,clauses", [(8, 6), (12, 10)])
+def test_count_brute_force(benchmark, variables, clauses):
+    formula = PositiveDNF.random(
+        variables, clauses, min_clause_size=2,
+        max_clause_size=variables // 2, seed=variables,
+    )
+    benchmark(formula.count_satisfying)
+
+
+def test_counts_always_agree():
+    for seed in range(10):
+        formula = PositiveDNF.random(9, 7, seed=seed)
+        assert count_models_via_skyline(formula) == formula.count_satisfying()

@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` file regenerates the timing-relevant kernel of one paper
+figure/table at a laptop-friendly scale (see DESIGN.md for the mapping);
+``python -m repro.bench all`` produces the full tables for EXPERIMENTS.md.
+
+Datasets and preference models are built once per session — constructing
+them is not what any figure measures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SkylineProbabilityEngine
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.nursery import nursery_dataset, nursery_preferences
+from repro.data.procedural import HashedPreferenceModel
+from repro.data.uniform import uniform_dataset
+
+# Make `benchmarks/` a rootdir-independent collection target.
+collect_ignore_glob: list = []
+
+
+@pytest.fixture(scope="session")
+def uniform16_engine():
+    """Uniform 16x5d engine (the exact algorithms' reference point)."""
+    dataset = uniform_dataset(16, 5, seed=1)
+    return SkylineProbabilityEngine(dataset, HashedPreferenceModel(5, seed=2))
+
+
+@pytest.fixture(scope="session")
+def blockzipf1k_engine():
+    """Block-zipf 1000x5d engine (the preprocessing algorithms' arena)."""
+    dataset = block_zipf_dataset(1000, 5, seed=3)
+    return SkylineProbabilityEngine(dataset, HashedPreferenceModel(5, seed=4))
+
+
+@pytest.fixture(scope="session")
+def blockzipf200_engine():
+    """Block-zipf 200x5d engine (cheap enough for per-round timing)."""
+    dataset = block_zipf_dataset(200, 5, seed=5)
+    return SkylineProbabilityEngine(dataset, HashedPreferenceModel(5, seed=6))
+
+
+@pytest.fixture(scope="session")
+def nursery4_engine():
+    """The paper's d=4 Nursery projection (240 applications)."""
+    dims = [0, 1, 2, 3]
+    dataset = nursery_dataset(dims)
+    return SkylineProbabilityEngine(dataset, nursery_preferences(dims, seed=7))
+
+
+@pytest.fixture(scope="session")
+def nursery8_engine():
+    """The full 12 960-object, 8-attribute Nursery data set."""
+    dataset = nursery_dataset()
+    return SkylineProbabilityEngine(dataset, nursery_preferences(seed=8))

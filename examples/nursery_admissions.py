@@ -1,0 +1,103 @@
+"""Ranking nursery-school applications (the paper's real data set).
+
+The UCI *Nursery* data set — reconstructed exactly, offline, because it
+is the full factorial design over its 8 categorical attributes — holds
+12 960 applications.  The school ranks them by preferences over
+attributes like parents' occupation or housing, and the paper points out
+those preferences are naturally uncertain ("preferences on number of
+children can vary dramatically among user perspectives").
+
+An application's skyline probability is "its possibility to be accepted
+by the school as a good application" (Section 6 of the paper).
+
+Run:  python examples/nursery_admissions.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import SkylineProbabilityEngine
+from repro.data import NURSERY_ATTRIBUTES, nursery_dataset, nursery_preferences
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # The paper's d=4 projection: 240 distinct applications.
+    # ------------------------------------------------------------------
+    dims = ["parents", "has_nurs", "form", "children"]
+    applications = nursery_dataset(dims)
+    print(
+        f"Nursery projection onto {dims}: {applications.cardinality} "
+        f"distinct applications"
+    )
+
+    # Ordinal preferences: the school mostly follows the documented
+    # best-first attribute order, with 20% dissent per comparison.
+    prefs = nursery_preferences(dims, mode="ordinal", strength=0.8)
+    engine = SkylineProbabilityEngine(applications, prefs)
+
+    start = time.perf_counter()
+    probabilities = engine.skyline_probabilities()  # exact, via Det+
+    elapsed = time.perf_counter() - start
+    print(
+        f"Scored all {applications.cardinality} applications exactly in "
+        f"{elapsed:.2f}s ({elapsed / applications.cardinality * 1000:.2f} ms each)"
+    )
+
+    ranked = sorted(
+        zip(applications.labels, applications, probabilities),
+        key=lambda triple: -triple[2],
+    )
+    print("\nStrongest applications:")
+    for label, values, probability in ranked[:5]:
+        print(f"  sky = {probability:.4f}   {values}")
+    print("\nWeakest applications:")
+    for label, values, probability in ranked[-3:]:
+        print(f"  sky = {probability:.4f}   {values}")
+
+    # ------------------------------------------------------------------
+    # The admission shortlist: applications with sky >= tau.  With 240
+    # competing applications individual probabilities are small, so the
+    # threshold is set relative to a uniform share (1/n).
+    # ------------------------------------------------------------------
+    tau = 2.0 / applications.cardinality
+    shortlist = engine.probabilistic_skyline(tau)
+    print(
+        f"\nShortlist (sky >= {tau:.4f}, twice the uniform share): "
+        f"{len(shortlist)} applications"
+    )
+
+    # ------------------------------------------------------------------
+    # The full 8-attribute data set: 12 960 applications.  Absorption
+    # collapses the full factorial to one competitor per alternative
+    # attribute value, so even the exact engine answers instantly.
+    # ------------------------------------------------------------------
+    full = nursery_dataset()
+    full_prefs = nursery_preferences(mode="ordinal", strength=0.8)
+    full_engine = SkylineProbabilityEngine(full, full_prefs)
+
+    perfect = tuple(values[0] for _, values in NURSERY_ATTRIBUTES)
+    index = full.index_of(perfect)
+    start = time.perf_counter()
+    report = full_engine.skyline_probability(index)
+    elapsed = time.perf_counter() - start
+    print(
+        f"\nFull data set (n=12960, d=8): sky(all-best application) = "
+        f"{report.probability:.4f} in {elapsed:.2f}s (exact={report.exact})"
+    )
+    prep = report.preprocessing
+    print(
+        f"  preprocessing kept {prep.kept_count} of {len(full) - 1} "
+        f"competitors ({len(prep.partitions)} independent partitions, "
+        f"largest {prep.largest_partition})"
+    )
+
+    # A mediocre application for contrast.
+    middling = full[len(full) // 2]
+    report = full_engine.skyline_probability(full.index_of(middling))
+    print(f"  sky(middling application)          = {report.probability:.6f}")
+
+
+if __name__ == "__main__":
+    main()

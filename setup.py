@@ -1,0 +1,10 @@
+"""Legacy entry point so editable installs work without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on environments (like this offline
+one) whose setuptools cannot build editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,253 @@
+"""Command-line interface for skyline-probability queries.
+
+Usage::
+
+    python -m repro query   --dataset d.json --preferences p.json --target 0
+    python -m repro query   --dataset d.csv  --preferences p.csv --target 3 \
+                            --method sam --epsilon 0.01 --delta 0.01 --seed 7
+    python -m repro skyline --dataset d.json --preferences p.json --tau 0.3
+    python -m repro topk    --dataset d.json --preferences p.json -k 5 --pruned
+    python -m repro info    --dataset d.json --preferences p.json
+
+Datasets and preference models load from the JSON formats written by
+:mod:`repro.io` (``.csv`` inputs are also accepted: objects one-per-row,
+preferences as ``dimension,a,b,prob_a_over_b[,prob_b_over_a]`` rows).
+Pass ``--json`` for machine-readable output.
+
+The experiment harness has its own entry point: ``python -m repro.bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.core.engine import METHODS, SkylineProbabilityEngine
+from repro.core.pruning import top_k_pruned
+from repro.core.validate import missing_preference_pairs
+from repro.errors import ReproError
+from repro.io import (
+    dataset_from_csv,
+    load_dataset,
+    load_preferences,
+    preferences_from_csv,
+)
+
+
+def _load_inputs(arguments: argparse.Namespace):
+    dataset_path = Path(arguments.dataset)
+    if dataset_path.suffix.lower() == ".csv":
+        dataset = dataset_from_csv(dataset_path)
+    else:
+        dataset = load_dataset(dataset_path)
+    preferences_path = Path(arguments.preferences)
+    if preferences_path.suffix.lower() == ".csv":
+        preferences = preferences_from_csv(
+            preferences_path, dataset.dimensionality,
+            default=arguments.default,
+        )
+    else:
+        preferences = load_preferences(preferences_path)
+    return dataset, preferences
+
+
+def _query_options(arguments: argparse.Namespace) -> dict:
+    options: dict = {
+        "method": arguments.method,
+        "epsilon": arguments.epsilon,
+        "delta": arguments.delta,
+        "seed": arguments.seed,
+    }
+    if arguments.samples is not None:
+        options["samples"] = arguments.samples
+    return options
+
+
+def _emit(payload: dict, as_json: bool, lines: List[str]) -> None:
+    if as_json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print("\n".join(lines))
+
+
+def _cmd_query(arguments: argparse.Namespace) -> int:
+    dataset, preferences = _load_inputs(arguments)
+    engine = SkylineProbabilityEngine(dataset, preferences)
+    report = engine.skyline_probability(
+        arguments.target, **_query_options(arguments)
+    )
+    label = dataset.label_of(arguments.target)
+    payload = {
+        "target": arguments.target,
+        "label": label,
+        "probability": report.probability,
+        "method": report.method,
+        "exact": report.exact,
+        "samples": report.samples,
+    }
+    _emit(
+        payload,
+        arguments.json,
+        [
+            f"sky({label}) = {report.probability:.6f} "
+            f"[method={report.method}, exact={report.exact}"
+            + (f", samples={report.samples}" if report.samples else "")
+            + "]"
+        ],
+    )
+    return 0
+
+
+def _cmd_skyline(arguments: argparse.Namespace) -> int:
+    dataset, preferences = _load_inputs(arguments)
+    engine = SkylineProbabilityEngine(dataset, preferences)
+    options = _query_options(arguments)
+    probabilities = engine.skyline_probabilities(**options)
+    members = [
+        index
+        for index, probability in enumerate(probabilities)
+        if probability >= arguments.tau
+    ]
+    payload = {
+        "tau": arguments.tau,
+        "skyline": [
+            {
+                "index": index,
+                "label": dataset.label_of(index),
+                "probability": probabilities[index],
+            }
+            for index in members
+        ],
+    }
+    lines = [f"probabilistic skyline (tau={arguments.tau}): {len(members)} objects"]
+    lines += [
+        f"  {dataset.label_of(index):20s} sky = {probabilities[index]:.6f}"
+        for index in members
+    ]
+    _emit(payload, arguments.json, lines)
+    return 0
+
+
+def _cmd_topk(arguments: argparse.Namespace) -> int:
+    dataset, preferences = _load_inputs(arguments)
+    engine = SkylineProbabilityEngine(dataset, preferences)
+    options = _query_options(arguments)
+    if arguments.pruned:
+        result = top_k_pruned(
+            dataset, preferences, arguments.k, engine=engine, **options
+        )
+        ranking = list(result.ranking)
+        note = f" (refined {result.refined}, pruned {result.pruned})"
+    else:
+        ranking = engine.top_k(arguments.k, **options)
+        note = ""
+    payload = {
+        "k": arguments.k,
+        "ranking": [
+            {
+                "index": index,
+                "label": dataset.label_of(index),
+                "probability": probability,
+            }
+            for index, probability in ranking
+        ],
+    }
+    lines = [f"top-{arguments.k}{note}:"]
+    lines += [
+        f"  {rank}. {dataset.label_of(index):20s} sky = {probability:.6f}"
+        for rank, (index, probability) in enumerate(ranking, start=1)
+    ]
+    _emit(payload, arguments.json, lines)
+    return 0
+
+
+def _cmd_info(arguments: argparse.Namespace) -> int:
+    dataset, preferences = _load_inputs(arguments)
+    missing = missing_preference_pairs(preferences, dataset)
+    payload = {
+        "objects": dataset.cardinality,
+        "dimensions": dataset.dimensionality,
+        "distinct_values": [
+            len(dataset.values_on(j)) for j in range(dataset.dimensionality)
+        ],
+        "explicit_pairs": preferences.pair_count(),
+        "missing_pairs": len(missing),
+        "deterministic": preferences.is_deterministic(),
+    }
+    lines = [
+        f"objects:         {payload['objects']}",
+        f"dimensions:      {payload['dimensions']}",
+        f"values per dim:  {payload['distinct_values']}",
+        f"explicit pairs:  {payload['explicit_pairs']}",
+        f"missing pairs:   {payload['missing_pairs']}",
+        f"deterministic:   {payload['deterministic']}",
+    ]
+    _emit(payload, arguments.json, lines)
+    return 0 if not missing else 3
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Skyline probability queries over uncertain preferences.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--dataset", required=True, help="dataset .json/.csv")
+        sub.add_argument(
+            "--preferences", required=True, help="preference model .json/.csv"
+        )
+        sub.add_argument(
+            "--default", type=float, default=None,
+            help="symmetric default probability for unset pairs (CSV input)",
+        )
+        sub.add_argument("--method", choices=METHODS, default="auto")
+        sub.add_argument("--epsilon", type=float, default=0.01)
+        sub.add_argument("--delta", type=float, default=0.01)
+        sub.add_argument("--samples", type=int, default=None)
+        sub.add_argument("--seed", type=int, default=None)
+        sub.add_argument("--json", action="store_true", help="JSON output")
+
+    query = commands.add_parser("query", help="sky() of one object")
+    add_common(query)
+    query.add_argument("--target", type=int, required=True, help="object index")
+    query.set_defaults(handler=_cmd_query)
+
+    skyline = commands.add_parser(
+        "skyline", help="all objects with sky >= tau"
+    )
+    add_common(skyline)
+    skyline.add_argument("--tau", type=float, required=True)
+    skyline.set_defaults(handler=_cmd_skyline)
+
+    topk = commands.add_parser("topk", help="k most probable skyline objects")
+    add_common(topk)
+    topk.add_argument("-k", type=int, required=True)
+    topk.add_argument(
+        "--pruned", action="store_true",
+        help="use the bound-and-prune evaluation (refines fewer objects)",
+    )
+    topk.set_defaults(handler=_cmd_topk)
+
+    info = commands.add_parser("info", help="dataset/preference statistics")
+    add_common(info)
+    info.set_defaults(handler=_cmd_info)
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    arguments = _build_parser().parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

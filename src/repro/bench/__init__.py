@@ -1,0 +1,31 @@
+"""Benchmark harness: the experiment registry regenerating every figure
+and table of the paper, plus rendering/archival utilities.
+
+Run ``python -m repro.bench all`` (or ``repro-bench all``) to reproduce
+everything; see ``python -m repro.bench list`` for the per-figure ids.
+"""
+
+from repro.bench.plot import ascii_chart, chart_from_table
+from repro.bench.harness import (
+    Experiment,
+    ExperimentTable,
+    all_experiments,
+    format_seconds,
+    get_experiment,
+    register,
+    run_experiment,
+    time_call,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentTable",
+    "all_experiments",
+    "get_experiment",
+    "register",
+    "run_experiment",
+    "time_call",
+    "format_seconds",
+    "ascii_chart",
+    "chart_from_table",
+]

@@ -1,0 +1,128 @@
+"""Command-line interface for the experiment harness.
+
+Usage::
+
+    python -m repro.bench list                 # show all experiments
+    python -m repro.bench fig9 fig10           # run selected experiments
+    python -m repro.bench all                  # run everything
+    python -m repro.bench all --quick          # CI-sized smoke run
+    python -m repro.bench all --out results/   # archive JSON + markdown
+
+Each experiment prints its tables (the same rows/series the paper's
+figures plot) and, with ``--out``, archives them for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.bench.harness import all_experiments, get_experiment, run_experiment
+from repro.errors import ExperimentError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (see 'list'), or 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the CI-sized parameter ranges instead of the full ones",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="archive each experiment's JSON and markdown into DIR",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render each table's numeric columns as an ASCII chart",
+    )
+    return parser
+
+
+def _render_chart(table) -> str | None:
+    """Best-effort ASCII chart of a table's numeric columns.
+
+    The first column is the x axis; every other column with at least two
+    numeric cells becomes a series. Tables without a numeric shape (e.g.
+    the worked examples) simply render no chart.
+    """
+    from repro.bench.plot import chart_from_table
+    from repro.errors import ExperimentError
+
+    columns = list(table.columns)
+    if len(columns) < 2:
+        return None
+    x_column = columns[0]
+    y_columns = [
+        column
+        for column in columns[1:]
+        if sum(
+            isinstance(row.get(column), (int, float)) for row in table.rows
+        )
+        >= 2
+    ]
+    if not y_columns:
+        return None
+    try:
+        return chart_from_table(table, x_column, y_columns, log_y=True)
+    except ExperimentError:
+        return None
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    arguments = _build_parser().parse_args(argv)
+    if arguments.experiments == ["list"]:
+        for experiment in all_experiments():
+            print(f"{experiment.experiment_id:20s} {experiment.title}")
+            print(f"{'':20s}   ({experiment.paper_reference})")
+        return 0
+    if "all" in arguments.experiments:
+        chosen = [experiment.experiment_id for experiment in all_experiments()]
+    else:
+        chosen = arguments.experiments
+    scale = "quick" if arguments.quick else "full"
+    failures = 0
+    for experiment_id in chosen:
+        try:
+            experiment = get_experiment(experiment_id)
+        except ExperimentError as error:
+            print(error, file=sys.stderr)
+            return 2
+        print(f"\n### {experiment.experiment_id}: {experiment.title}")
+        start = time.perf_counter()
+        try:
+            tables = run_experiment(
+                experiment_id, scale, output_directory=arguments.out
+            )
+        except Exception as error:  # surface, keep running the rest
+            failures += 1
+            print(f"FAILED: {error}", file=sys.stderr)
+            continue
+        for table in tables:
+            print()
+            print(table.render())
+            if arguments.chart:
+                chart = _render_chart(table)
+                if chart:
+                    print()
+                    print(chart)
+        print(f"\n[{experiment_id} finished in {time.perf_counter() - start:.1f}s]")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,238 @@
+"""Experiment harness: registry, timing, result tables.
+
+Every figure/table of the paper has one registered experiment (see
+:mod:`repro.bench.experiments`) that produces :class:`ExperimentTable`
+objects — the same rows/series the paper reports, regenerated on this
+machine.  Tables render as aligned ASCII (for the terminal) and markdown
+(for EXPERIMENTS.md) and serialise to JSON for archival.
+
+Experiments accept a *scale*: ``full`` runs the ranges recorded in
+DESIGN.md (minutes), ``quick`` a smoke-test subset (seconds) used by the
+test suite.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "ExperimentTable",
+    "Experiment",
+    "register",
+    "get_experiment",
+    "all_experiments",
+    "run_experiment",
+    "time_call",
+    "format_seconds",
+]
+
+SCALES = ("full", "quick")
+
+
+def time_call(function: Callable, *args: object, **kwargs: object) -> Tuple[object, float]:
+    """Run ``function`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-oriented fixed-width rendering of a duration."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.2f}s"
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.3e}"
+        return f"{value:.5g}"
+    return str(value)
+
+
+@dataclass
+class ExperimentTable:
+    """One result table: ordered columns, one dict per row.
+
+    ``paper_reference`` names the figure/table being reproduced and
+    ``expectation`` states the qualitative shape the paper reports, so a
+    reader can compare at a glance.
+    """
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    paper_reference: str = ""
+    expectation: str = ""
+
+    def add_row(self, **cells: object) -> None:
+        """Append a row; unknown columns are rejected to catch typos."""
+        unknown = set(cells) - set(self.columns)
+        if unknown:
+            raise ExperimentError(
+                f"row has unknown columns {sorted(unknown)}; "
+                f"table columns are {list(self.columns)}"
+            )
+        self.rows.append(cells)
+
+    # ------------------------------------------------------------------
+    def _rendered_cells(self) -> List[List[str]]:
+        rendered = [[str(column) for column in self.columns]]
+        for row in self.rows:
+            rendered.append(
+                [_format_cell(row.get(column, "")) for column in self.columns]
+            )
+        return rendered
+
+    def render(self) -> str:
+        """Aligned ASCII rendering for terminal output."""
+        cells = self._rendered_cells()
+        widths = [
+            max(len(line[i]) for line in cells) for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.title} =="]
+        if self.paper_reference:
+            lines.append(f"   reproduces: {self.paper_reference}")
+        if self.expectation:
+            lines.append(f"   expected shape: {self.expectation}")
+        header, *body = cells
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown table with its caption."""
+        cells = self._rendered_cells()
+        header, *body = cells
+        lines = [f"**{self.title}**"]
+        if self.paper_reference:
+            lines.append(f"*(reproduces {self.paper_reference})*")
+        lines.append("")
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "|".join("---" for _ in header) + "|")
+        for row in body:
+            lines.append("| " + " | ".join(row) + " |")
+        if self.expectation:
+            lines.append("")
+            lines.append(f"Expected shape: {self.expectation}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_reference": self.paper_reference,
+            "expectation": self.expectation,
+            "columns": list(self.columns),
+            "rows": self.rows,
+        }
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ExperimentError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable reproduction of one paper figure/table."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    runner: Callable[[str], List[ExperimentTable]]
+
+    def run(self, scale: str = "full") -> List[ExperimentTable]:
+        """Execute and return the experiment's tables."""
+        if scale not in SCALES:
+            raise ExperimentError(
+                f"unknown scale {scale!r}; expected one of {SCALES}"
+            )
+        return self.runner(scale)
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(
+    experiment_id: str, title: str, paper_reference: str
+) -> Callable[[Callable[[str], List[ExperimentTable]]], Callable]:
+    """Decorator registering an experiment runner under ``experiment_id``."""
+
+    def wrap(runner: Callable[[str], List[ExperimentTable]]) -> Callable:
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"experiment {experiment_id!r} already registered")
+        _REGISTRY[experiment_id] = Experiment(
+            experiment_id, title, paper_reference, runner
+        )
+        return runner
+
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up a registered experiment (importing the definitions first)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def all_experiments() -> List[Experiment]:
+    """All registered experiments, sorted by id."""
+    _ensure_loaded()
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+def run_experiment(
+    experiment_id: str,
+    scale: str = "full",
+    *,
+    output_directory: str | Path | None = None,
+) -> List[ExperimentTable]:
+    """Run one experiment, optionally archiving its JSON + markdown."""
+    experiment = get_experiment(experiment_id)
+    tables = experiment.run(scale)
+    if output_directory is not None:
+        directory = Path(output_directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "experiment_id": experiment.experiment_id,
+            "title": experiment.title,
+            "paper_reference": experiment.paper_reference,
+            "scale": scale,
+            "tables": [table.to_dict() for table in tables],
+        }
+        (directory / f"{experiment_id}.json").write_text(
+            json.dumps(payload, indent=2)
+        )
+        (directory / f"{experiment_id}.md").write_text(
+            "\n\n".join(table.to_markdown() for table in tables) + "\n"
+        )
+    return tables
+
+
+def _ensure_loaded() -> None:
+    # The experiment definitions register themselves on import; importing
+    # here keeps `get_experiment` usable without a manual import order.
+    import repro.bench.experiments  # noqa: F401

@@ -1,0 +1,121 @@
+"""ASCII charts for experiment tables.
+
+The paper's evaluation is a set of line plots; this module renders the
+regenerated series as monospace charts so EXPERIMENTS.md and the
+terminal can show the *shape* (exponential blow-ups, flat samplers,
+crossovers) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+__all__ = ["ascii_chart", "chart_from_table"]
+
+_MARKERS = "*o+x#@%"
+
+
+def _scale(
+    value: float, low: float, high: float, size: int, log: bool
+) -> int:
+    """Map ``value`` in [low, high] to a cell index in [0, size-1]."""
+    if log:
+        value, low, high = math.log10(value), math.log10(low), math.log10(high)
+    if high == low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, round(position * (size - 1))))
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """Render named (x, y) series as a monospace scatter chart.
+
+    ``log_y`` uses a log10 vertical axis (non-positive values are
+    dropped, as a log plot must).  Each series gets the next marker from
+    ``* o + x …``; the legend maps markers back to names.
+    """
+    cleaned: Dict[str, List[Tuple[float, float]]] = {}
+    for name, points in series.items():
+        kept = [
+            (float(x), float(y))
+            for x, y in points
+            if not log_y or y > 0.0
+        ]
+        if kept:
+            cleaned[name] = kept
+    if not cleaned:
+        raise ExperimentError("nothing to plot (no plottable points)")
+    if len(cleaned) > len(_MARKERS):
+        raise ExperimentError(
+            f"too many series ({len(cleaned)}); at most {len(_MARKERS)}"
+        )
+    xs = [x for points in cleaned.values() for x, _ in points]
+    ys = [y for points in cleaned.values() for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for marker, (name, points) in zip(_MARKERS, cleaned.items()):
+        legend.append(f"{marker} {name}")
+        for x, y in points:
+            column = _scale(x, x_low, x_high, width, False)
+            row = height - 1 - _scale(y, y_low, y_high, height, log_y)
+            grid[row][column] = marker
+
+    def y_label(value: float) -> str:
+        return f"{value:9.3g}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label, bottom_label = y_label(y_high), y_label(y_low)
+    for index, row in enumerate(grid):
+        label = top_label if index == 0 else (
+            bottom_label if index == height - 1 else " " * 9
+        )
+        lines.append(f"{label} |{''.join(row)}|")
+    lines.append(" " * 10 + "+" + "-" * width + "+")
+    lines.append(
+        " " * 11 + f"{x_low:<10.6g}" + " " * max(0, width - 20) + f"{x_high:>10.6g}"
+    )
+    lines.append(" " * 11 + ("[log y]  " if log_y else "") + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def chart_from_table(
+    table: "object",
+    x_column: str,
+    y_columns: Sequence[str],
+    *,
+    log_y: bool = True,
+    **chart_options: object,
+) -> str:
+    """Chart selected columns of an :class:`ExperimentTable`.
+
+    Rows whose cells are non-numeric (e.g. ``"> budget"``) are skipped —
+    exactly like the paper's plots, where an infeasible configuration has
+    no data point.
+    """
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for column in y_columns:
+        points: List[Tuple[float, float]] = []
+        for row in table.rows:
+            x, y = row.get(x_column), row.get(column)
+            if isinstance(x, (int, float)) and isinstance(y, (int, float)):
+                points.append((float(x), float(y)))
+        if points:
+            series[column] = points
+    return ascii_chart(
+        series, log_y=log_y, title=table.title, **chart_options
+    )

@@ -1,0 +1,20 @@
+"""#P-completeness machinery (Theorem 1): positive DNF formulas, model
+counting, and the reduction between #DNF and skyline probability."""
+
+from repro.complexity.dnf import PositiveDNF
+from repro.complexity.reduction import (
+    SkylineInstance,
+    count_models_via_skyline,
+    dnf_to_skyline_instance,
+    model_count_from_skyline_probability,
+    skyline_probability_of_dnf,
+)
+
+__all__ = [
+    "PositiveDNF",
+    "SkylineInstance",
+    "dnf_to_skyline_instance",
+    "skyline_probability_of_dnf",
+    "model_count_from_skyline_probability",
+    "count_models_via_skyline",
+]

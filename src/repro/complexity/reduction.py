@@ -1,0 +1,106 @@
+"""The Theorem-1 reduction: positive-DNF counting ↔ skyline probability.
+
+Given a positive DNF with ``d`` variables and ``n`` clauses, build a
+``d``-dimensional skyline instance:
+
+* the target ``O`` takes value ``o_j`` on every dimension ``j``;
+* clause ``C_i`` becomes competitor ``Q_i`` with ``Q_i.j = q_j`` when
+  ``x_j ∈ C_i`` (a distinct value, preferred to ``o_j`` with probability
+  ½) and ``Q_i.j = o_j`` otherwise.
+
+Every preference assignment then corresponds to a truth assignment
+(``x_j`` true ⟺ ``q_j ≺ o_j``), each of probability ``2^{-d}``, and
+``O`` is dominated exactly when some clause is satisfied.  Hence
+
+    sky(O) = 1 - U · 2^{-d}      ⟺      U = (1 - sky(O)) · 2^d
+
+where ``U`` is the formula's model count.  Both directions are exposed so
+the property tests can round-trip random formulas through the skyline
+algorithms and random instances through the DNF counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.complexity.dnf import PositiveDNF
+from repro.core.exact import skyline_probability_det
+from repro.core.objects import ObjectValues
+from repro.core.preferences import PreferenceModel
+
+__all__ = [
+    "SkylineInstance",
+    "dnf_to_skyline_instance",
+    "skyline_probability_of_dnf",
+    "model_count_from_skyline_probability",
+    "count_models_via_skyline",
+]
+
+
+@dataclass(frozen=True)
+class SkylineInstance:
+    """A skyline-probability instance produced by the reduction.
+
+    ``assignment_probability`` is μ, the constant probability ``2^{-d}``
+    of each of the ``2^d`` preference assignments.
+    """
+
+    preferences: PreferenceModel
+    competitors: Tuple[ObjectValues, ...]
+    target: ObjectValues
+
+    @property
+    def assignment_probability(self) -> float:
+        """μ = 2^{-d}: the probability of any single preference assignment."""
+        return 0.5 ** len(self.target)
+
+
+def dnf_to_skyline_instance(formula: PositiveDNF) -> SkylineInstance:
+    """Theorem 1's polynomial-time reduction, clause by clause."""
+    d = formula.num_variables
+    target: ObjectValues = tuple(f"o{j}" for j in range(d))
+    preferences = PreferenceModel(d)
+    for j in range(d):
+        preferences.set_preference(j, f"q{j}", f"o{j}", 0.5, 0.5)
+    competitors: List[ObjectValues] = []
+    for clause in formula.clauses:
+        competitors.append(
+            tuple(f"q{j}" if j in clause else f"o{j}" for j in range(d))
+        )
+    return SkylineInstance(preferences, tuple(competitors), target)
+
+
+def skyline_probability_of_dnf(formula: PositiveDNF) -> float:
+    """``sky(O)`` implied by the formula: ``1 - count · 2^{-d}``.
+
+    Uses the brute-force model counter, i.e. this is the *independent*
+    oracle against which the skyline algorithms are validated.
+    """
+    return 1.0 - formula.count_satisfying() * 0.5**formula.num_variables
+
+
+def model_count_from_skyline_probability(
+    formula: PositiveDNF, skyline_probability: float
+) -> int:
+    """Recover the integer model count ``U = (1 - sky) · 2^d``.
+
+    Rounds to the nearest integer to absorb float error; the exact value
+    is always an integer multiple of ``2^{-d}`` away from 1.
+    """
+    return round((1.0 - skyline_probability) * (1 << formula.num_variables))
+
+
+def count_models_via_skyline(formula: PositiveDNF) -> int:
+    """#DNF by actually *running* the skyline algorithm on the reduction.
+
+    This is the executable content of Theorem 1: a skyline-probability
+    oracle counts DNF models.  (Exponential, of course — the reduction
+    transfers hardness, not speed.)
+    """
+    instance = dnf_to_skyline_instance(formula)
+    result = skyline_probability_det(
+        instance.preferences, instance.competitors, instance.target,
+        max_objects=formula.num_clauses,
+    )
+    return model_count_from_skyline_probability(formula, result.probability)

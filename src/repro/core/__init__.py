@@ -1,0 +1,132 @@
+"""Core algorithms of the paper: the data model, the exact and
+Monte-Carlo skyline-probability algorithms, the absorption/partition
+preprocessing, and the baselines they are compared against."""
+
+from repro.core.baselines import (
+    skyline_probability_a1,
+    skyline_probability_a2,
+    skyline_probability_sac,
+)
+from repro.core.bounds import (
+    hoeffding_confidence,
+    hoeffding_error,
+    hoeffding_sample_size,
+)
+from repro.core.dominance import (
+    dominance_factors,
+    dominance_probability,
+    dominates_under,
+    joint_dominance_probability,
+)
+from repro.core.engine import METHODS, SkylineProbabilityEngine, SkylineReport
+from repro.core.exact import (
+    DEFAULT_MAX_OBJECTS,
+    ExactResult,
+    bonferroni_bounds,
+    inclusion_exclusion_layer_sums,
+    skyline_probability_det,
+)
+from repro.core.naive import (
+    enumerate_worlds,
+    skyline_probabilities_naive,
+    skyline_probability_naive,
+)
+from repro.core.objects import Dataset, ObjectValues, Value, as_object
+from repro.core.preferences import PreferenceModel, PreferencePair
+from repro.core.operators import (
+    ThresholdClassification,
+    ThresholdDecision,
+    classify_against_threshold,
+)
+from repro.core.sensitivity import (
+    PreferenceSensitivity,
+    preference_sensitivity,
+    sky_profile,
+)
+from repro.core.pruning import (
+    TopKResult,
+    skyline_probability_bounds,
+    top_k_pruned,
+)
+from repro.core.validate import missing_preference_pairs, validate_coverage
+from repro.core.preprocess import (
+    AbsorptionResult,
+    PreprocessResult,
+    absorb,
+    drop_never_dominators,
+    partition,
+    preprocess,
+)
+from repro.core.sampling import (
+    SamplingResult,
+    skyline_probability_sampled,
+    skyline_probability_sequential,
+)
+from repro.core.skyline import (
+    deterministic_skyline,
+    expected_skyline_size,
+    is_skyline_point_under_oracle,
+    skyline_under_oracle,
+)
+from repro.core.topk import (
+    AllObjectsEstimate,
+    estimate_all_skyline_probabilities,
+    top_k_shared_worlds,
+)
+
+__all__ = [
+    "Dataset",
+    "ObjectValues",
+    "Value",
+    "as_object",
+    "PreferenceModel",
+    "PreferencePair",
+    "dominance_factors",
+    "dominance_probability",
+    "dominates_under",
+    "joint_dominance_probability",
+    "DEFAULT_MAX_OBJECTS",
+    "ExactResult",
+    "skyline_probability_det",
+    "inclusion_exclusion_layer_sums",
+    "bonferroni_bounds",
+    "skyline_probability_naive",
+    "skyline_probabilities_naive",
+    "enumerate_worlds",
+    "SamplingResult",
+    "skyline_probability_sampled",
+    "skyline_probability_sequential",
+    "hoeffding_sample_size",
+    "hoeffding_error",
+    "hoeffding_confidence",
+    "AbsorptionResult",
+    "PreprocessResult",
+    "absorb",
+    "partition",
+    "drop_never_dominators",
+    "preprocess",
+    "SkylineProbabilityEngine",
+    "SkylineReport",
+    "METHODS",
+    "skyline_probability_sac",
+    "skyline_probability_a1",
+    "skyline_probability_a2",
+    "deterministic_skyline",
+    "skyline_under_oracle",
+    "is_skyline_point_under_oracle",
+    "expected_skyline_size",
+    "AllObjectsEstimate",
+    "estimate_all_skyline_probabilities",
+    "top_k_shared_worlds",
+    "TopKResult",
+    "skyline_probability_bounds",
+    "top_k_pruned",
+    "missing_preference_pairs",
+    "validate_coverage",
+    "ThresholdDecision",
+    "ThresholdClassification",
+    "classify_against_threshold",
+    "PreferenceSensitivity",
+    "preference_sensitivity",
+    "sky_profile",
+]

@@ -1,0 +1,134 @@
+"""Baselines the paper compares against or dismisses.
+
+* :func:`skyline_probability_sac` — the prior art ("Sac", Sacharidis et
+  al., ICDE 2010): assume the dominance events are independent and
+  multiply ``(1 - Pr(e_i))``.  The paper's introduction shows this is
+  wrong whenever two competitors share an attribute value (its answer for
+  the motivating example is 3/8 instead of 1/2); it *is* exact when no two
+  competitors share a value relevant to the target — our property tests
+  pin both facts.
+
+* :func:`skyline_probability_a1` — tentative approximation **A1**
+  (Section 4, Figure 6a): run the exact algorithm on only the ``top``
+  competitors most likely to dominate the target and ignore the rest.
+  Always an over-estimate of ``sky`` (dropping events shrinks the union).
+
+* :func:`skyline_probability_a2` — tentative approximation **A2**
+  (Section 4, Figure 6b): evaluate only the first ``max_terms`` joint
+  probabilities of Equation 4 (subsets in increasing-size order) and stop.
+  Deliberately *not* clamped to [0, 1]: partial alternating sums can leave
+  the unit interval by a lot, which is exactly why Figure 6b rejects the
+  approach (absolute errors above 1, worse than guessing).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.dominance import dominance_factors, dominance_probability
+from repro.core.exact import skyline_probability_det
+from repro.core.objects import Value
+from repro.core.preferences import PreferenceModel
+from repro.util.subsets import iter_subsets
+
+__all__ = [
+    "skyline_probability_sac",
+    "skyline_probability_a1",
+    "skyline_probability_a2",
+]
+
+
+def skyline_probability_sac(
+    preferences: PreferenceModel,
+    competitors: Sequence[Sequence[Value]],
+    target: Sequence[Value],
+) -> float:
+    """``sky(target)`` under the independent-object-dominance assumption.
+
+    Equation 2 of Sacharidis et al. [21]:
+    ``∏_i (1 - Pr(e_i))``.  Exact only when no two competitors share a
+    relevant attribute value; biased otherwise (see the paper's
+    observation in Section 1).
+    """
+    probability = 1.0
+    for q in competitors:
+        probability *= 1.0 - dominance_probability(preferences, q, target)
+        if probability == 0.0:
+            return 0.0
+    return probability
+
+
+def _rank_by_dominance(
+    preferences: PreferenceModel,
+    competitors: Sequence[Sequence[Value]],
+    target: Sequence[Value],
+) -> List[Tuple[float, int]]:
+    """Competitors as (Pr(e_i), position), descending by probability."""
+    ranked = [
+        (dominance_probability(preferences, q, target), position)
+        for position, q in enumerate(competitors)
+    ]
+    ranked.sort(key=lambda pair: (-pair[0], pair[1]))
+    return ranked
+
+
+def skyline_probability_a1(
+    preferences: PreferenceModel,
+    competitors: Sequence[Sequence[Value]],
+    target: Sequence[Value],
+    top: int,
+    *,
+    max_objects: int = 25,
+) -> float:
+    """Tentative approximation A1: exact over the ``top`` likeliest dominators.
+
+    Ignoring competitors can only remove events from the union in
+    Equation 3, so A1 never under-estimates ``sky``; Figure 6a shows its
+    error decays too slowly to be useful.
+    """
+    if top < 0:
+        raise ValueError(f"top must be non-negative, got {top}")
+    ranked = _rank_by_dominance(preferences, competitors, target)
+    chosen = [competitors[position] for _, position in ranked[:top]]
+    return skyline_probability_det(
+        preferences, chosen, target, max_objects=max_objects
+    ).probability
+
+
+def skyline_probability_a2(
+    preferences: PreferenceModel,
+    competitors: Sequence[Sequence[Value]],
+    target: Sequence[Value],
+    max_terms: int,
+) -> float:
+    """Tentative approximation A2: the first ``max_terms`` terms of Eq. 4.
+
+    Joint probabilities are evaluated subset-by-subset in increasing-size
+    order and the alternating sum is returned as-is once the budget runs
+    out — including values far outside [0, 1], reproducing Figure 6b's
+    verdict that truncation alone is not a usable approximation.  (For a
+    *sound* truncation see :func:`repro.core.exact.bonferroni_bounds`.)
+    """
+    if max_terms < 0:
+        raise ValueError(f"max_terms must be non-negative, got {max_terms}")
+    factor_lists = [
+        dominance_factors(preferences, q, target) for q in competitors
+    ]
+    if any(not factors for factors in factor_lists):
+        return 0.0  # a duplicate of the target dominates with certainty
+    total = 1.0
+    evaluated = 0
+    for subset in iter_subsets(range(len(factor_lists))):
+        if evaluated >= max_terms:
+            break
+        evaluated += 1
+        seen: set = set()
+        joint = 1.0
+        for member in subset:
+            for dimension, value, factor in factor_lists[member]:
+                key = (dimension, value)
+                if key not in seen:
+                    seen.add(key)
+                    joint *= factor
+        total += (-1.0 if len(subset) % 2 else 1.0) * joint
+    return total

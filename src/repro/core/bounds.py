@@ -1,0 +1,58 @@
+"""Concentration bounds for the Monte-Carlo estimator (Theorem 2).
+
+The estimator averages i.i.d. Bernoulli draws whose mean is ``sky(O)``,
+so Hoeffding's inequality gives
+
+    Pr(|Y/m - sky(O)| ≥ ε) ≤ 2 e^{-2 m ε²}
+
+and ``m = ⌈ln(2/δ) / (2 ε²)⌉`` samples achieve an ``ε``-approximation with
+confidence ``1 - δ`` — the paper's ``O(d·n·ε⁻²·ln(1/δ))`` complexity.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import EstimationError
+
+__all__ = [
+    "hoeffding_sample_size",
+    "hoeffding_error",
+    "hoeffding_confidence",
+]
+
+
+def _check_epsilon(epsilon: float) -> float:
+    if not 0 < epsilon < 1:
+        raise EstimationError(f"epsilon must lie in (0, 1), got {epsilon!r}")
+    return float(epsilon)
+
+
+def _check_delta(delta: float) -> float:
+    if not 0 < delta < 1:
+        raise EstimationError(f"delta must lie in (0, 1), got {delta!r}")
+    return float(delta)
+
+
+def hoeffding_sample_size(epsilon: float, delta: float) -> int:
+    """Samples needed for ``Pr(|estimate - sky| ≥ ε) ≤ δ`` (Theorem 2)."""
+    epsilon = _check_epsilon(epsilon)
+    delta = _check_delta(delta)
+    return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
+
+
+def hoeffding_error(samples: int, delta: float) -> float:
+    """Error radius ε guaranteed with confidence ``1 - δ`` by ``samples``."""
+    if samples <= 0:
+        raise EstimationError(f"samples must be positive, got {samples!r}")
+    delta = _check_delta(delta)
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * samples))
+
+
+def hoeffding_confidence(samples: int, epsilon: float) -> float:
+    """Confidence ``1 - δ`` that ``samples`` draws land within ``ε``."""
+    if samples <= 0:
+        raise EstimationError(f"samples must be positive, got {samples!r}")
+    epsilon = _check_epsilon(epsilon)
+    delta = min(1.0, 2.0 * math.exp(-2.0 * samples * epsilon * epsilon))
+    return 1.0 - delta

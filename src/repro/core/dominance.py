@@ -1,0 +1,146 @@
+"""Dominance probabilities (Equations 1, 2 and 6 of the paper).
+
+Object ``Q`` dominates ``O`` iff ``Q`` is weakly preferred on every
+dimension and strictly preferred on at least one.  With no duplicate
+objects, at least one dimension carries distinct values and "weak" equals
+"strict" there, so the event probability factorises over dimensions
+(Equation 2):
+
+    Pr(Q ≺ O) = ∏_j Pr(Q.j ⪯ O.j)
+
+The *joint* probability of several dominance events does **not** factorise
+over objects — that is the paper's central point — but it does factorise
+over distinct ``(dimension, value)`` preference variables (Equation 6):
+
+    Pr(E_I) = ∏_j ∏_{v ∈ V_I^j} Pr(v ⪯ O.j)
+
+where ``V_I^j`` is the set of distinct values the objects of ``I`` take on
+dimension ``j``.  Both forms are implemented here, together with the
+per-object factor lists the exact algorithm and the samplers consume.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.objects import ObjectValues, Value
+from repro.core.preferences import PreferenceModel
+from repro.errors import DimensionalityError
+
+__all__ = [
+    "differing_dimensions",
+    "dominance_factors",
+    "dominance_probability",
+    "joint_dominance_probability",
+    "dominates_under",
+    "DominanceFactor",
+]
+
+# One multiplicative factor of a dominance event: the probability that
+# `value` is preferred to O's value on `dimension`.
+DominanceFactor = Tuple[int, Value, float]
+
+# A resolved world: answers "is `a` strictly preferred to `b` on `dim`?".
+PrefersOracle = Callable[[int, Value, Value], bool]
+
+
+def _check_same_dimensionality(q: Sequence[Value], o: Sequence[Value]) -> None:
+    if len(q) != len(o):
+        raise DimensionalityError(
+            f"objects have different dimensionalities ({len(q)} vs {len(o)})"
+        )
+
+
+def differing_dimensions(q: Sequence[Value], o: Sequence[Value]) -> Tuple[int, ...]:
+    """Dimensions on which ``q`` and ``o`` hold distinct values."""
+    _check_same_dimensionality(q, o)
+    return tuple(j for j, (qv, ov) in enumerate(zip(q, o)) if qv != ov)
+
+
+def dominance_factors(
+    preferences: PreferenceModel,
+    q: Sequence[Value],
+    o: Sequence[Value],
+) -> List[DominanceFactor]:
+    """Per-dimension factors of ``Pr(q ≺ o)`` where the values differ.
+
+    Dimensions with equal values contribute a factor of 1 and are omitted;
+    an empty list therefore means ``q`` equals ``o`` everywhere (a
+    duplicate, which dominates with the convention probability 1 — the
+    data model normally forbids this case).
+    """
+    _check_same_dimensionality(q, o)
+    return [
+        (j, q[j], preferences.prob_prefers(j, q[j], o[j]))
+        for j in differing_dimensions(q, o)
+    ]
+
+
+def dominance_probability(
+    preferences: PreferenceModel,
+    q: Sequence[Value],
+    o: Sequence[Value],
+) -> float:
+    """``Pr(q ≺ o)`` under Equation 2.
+
+    Short-circuits on the first zero factor, so remaining dimensions'
+    preferences are never looked up (they may legitimately be undefined).
+    """
+    _check_same_dimensionality(q, o)
+    probability = 1.0
+    for j, (qv, ov) in enumerate(zip(q, o)):
+        if qv == ov:
+            continue
+        factor = preferences.prob_prefers(j, qv, ov)
+        if factor == 0.0:
+            return 0.0
+        probability *= factor
+    return probability
+
+
+def joint_dominance_probability(
+    preferences: PreferenceModel,
+    group: Iterable[Sequence[Value]],
+    o: Sequence[Value],
+) -> float:
+    """``Pr(E_I)`` — probability *all* objects in ``group`` dominate ``o``.
+
+    Implements Equation 6: one factor per distinct ``(dimension, value)``
+    pair, so objects sharing a value share the factor (this is exactly the
+    dependence that breaks the independent-dominance assumption).
+    """
+    seen: Set[Tuple[int, Value]] = set()
+    probability = 1.0
+    for q in group:
+        for j, value, factor in dominance_factors(preferences, q, o):
+            key = (j, value)
+            if key in seen:
+                continue
+            seen.add(key)
+            if factor == 0.0:
+                return 0.0
+            probability *= factor
+    return probability
+
+
+def dominates_under(
+    prefers: PrefersOracle,
+    q: ObjectValues,
+    o: ObjectValues,
+) -> bool:
+    """Whether ``q`` dominates ``o`` in a fully resolved world.
+
+    ``prefers(dim, a, b)`` must answer the sampled outcome of the
+    preference variable between distinct values ``a`` and ``b``.  Following
+    the paper's definition, ``q ≺ o`` iff every differing dimension is
+    strictly preferred and at least one dimension differs.
+    """
+    _check_same_dimensionality(q, o)
+    strict = False
+    for j, (qv, ov) in enumerate(zip(q, o)):
+        if qv == ov:
+            continue
+        if not prefers(j, qv, ov):
+            return False
+        strict = True
+    return strict

@@ -1,0 +1,404 @@
+"""High-level facade: one entry point for every algorithm in the paper.
+
+:class:`SkylineProbabilityEngine` binds a :class:`~repro.core.objects.Dataset`
+to a :class:`~repro.core.preferences.PreferenceModel` and answers skyline
+probability queries with any of the paper's methods:
+
+========  =====================================================
+``det``   Algorithm 1 (exact inclusion-exclusion), no preprocessing
+``det+``  absorption + partition, then Algorithm 1 per partition
+``sam``   Algorithm 2 (Monte-Carlo), no preprocessing
+``sam+``  absorption + zero-filter, then Algorithm 2 on the survivors
+``naive`` exhaustive world enumeration (tiny inputs; ground truth)
+``auto``  preprocess, solve small partitions exactly, sample the rest
+========  =====================================================
+
+``auto`` is the production default: after preprocessing, partitions no
+larger than the exact budget are solved by Algorithm 1 (zero error) and
+only oversized partitions are estimated, with the ε/δ budget split across
+them so the *product* still meets the requested accuracy — by Theorem 4
+the per-partition probabilities are independent, and for values in [0, 1]
+the product's absolute error is at most the sum of the factors' errors.
+
+The engine also exposes the dataset-level operators built on top of the
+single-object query: all-objects probabilities, the probabilistic skyline
+(threshold ``τ``), and top-k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.exact import DEFAULT_MAX_OBJECTS, ExactResult, skyline_probability_det
+from repro.core.naive import skyline_probability_naive
+from repro.core.objects import Dataset, ObjectValues, Value, as_object
+from repro.core.preferences import PreferenceModel
+from repro.core.preprocess import PreprocessResult, preprocess
+from repro.core.sampling import SamplingResult, skyline_probability_sampled
+from repro.errors import ComputationBudgetError, DimensionalityError, ReproError
+from repro.util.rng import as_rng
+
+__all__ = ["SkylineProbabilityEngine", "SkylineReport", "METHODS"]
+
+METHODS = ("det", "det+", "sam", "sam+", "naive", "auto")
+
+
+@dataclass(frozen=True)
+class SkylineReport:
+    """Answer to a skyline-probability query, with full provenance.
+
+    ``probability`` is exact when ``exact`` is ``True``; otherwise it is a
+    Monte-Carlo estimate and ``samples`` records the total draws spent.
+    ``preprocessing`` is present for the ``+``/``auto`` methods;
+    ``partition_results`` holds the per-partition sub-results (an
+    :class:`ExactResult` or :class:`SamplingResult` each) in partition
+    order.
+    """
+
+    probability: float
+    method: str
+    exact: bool
+    preprocessing: PreprocessResult | None = None
+    partition_results: Tuple[object, ...] = ()
+    samples: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ReproError(
+                f"internal error: probability {self.probability} outside [0, 1]"
+            )
+
+
+class SkylineProbabilityEngine:
+    """Skyline probability queries over one dataset + preference model.
+
+    Parameters
+    ----------
+    dataset:
+        The objects of the space.
+    preferences:
+        Uncertain preferences covering the dataset's dimensionality.
+    max_exact_objects:
+        Largest dominance-event set Algorithm 1 may enumerate (per
+        partition for ``det+``/``auto``).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        preferences: PreferenceModel,
+        *,
+        max_exact_objects: int = DEFAULT_MAX_OBJECTS,
+    ) -> None:
+        if preferences.dimensionality != dataset.dimensionality:
+            raise DimensionalityError(
+                f"preference model covers {preferences.dimensionality} "
+                f"dimensions but the dataset has {dataset.dimensionality}"
+            )
+        self._dataset = dataset
+        self._preferences = preferences
+        self._max_exact_objects = max_exact_objects
+        # Exact answers are deterministic: cache them keyed by the
+        # preference model's mutation counter so in-place preference
+        # updates (what-if analyses) invalidate automatically.
+        self._exact_cache: dict = {}
+
+    @property
+    def dataset(self) -> Dataset:
+        """The engine's dataset."""
+        return self._dataset
+
+    @property
+    def preferences(self) -> PreferenceModel:
+        """The engine's preference model."""
+        return self._preferences
+
+    # ------------------------------------------------------------------
+    # Single-object query
+    # ------------------------------------------------------------------
+    def skyline_probability(
+        self,
+        target: int | Sequence[Value],
+        *,
+        method: str = "auto",
+        epsilon: float = 0.01,
+        delta: float = 0.01,
+        samples: int | None = None,
+        seed: object = None,
+        use_absorption: bool = True,
+        use_partition: bool = True,
+    ) -> SkylineReport:
+        """``sky(target)`` by the chosen method.
+
+        ``target`` is either an index into the dataset or an object (which
+        may be outside the dataset — then the whole dataset competes).
+        ``epsilon``/``delta``/``samples``/``seed`` only matter for the
+        sampling methods; the ``use_*`` switches only for the ``+``/
+        ``auto`` methods (ablation hooks).
+        """
+        competitors, target_values = self._resolve_target(target)
+        if method not in METHODS:
+            raise ReproError(
+                f"unknown method {method!r}; expected one of {METHODS}"
+            )
+        cache_key = (
+            target_values,
+            method,
+            use_absorption,
+            use_partition,
+            self._preferences.version,
+        )
+        cached = self._exact_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        report = self._answer(
+            competitors, target_values, method,
+            epsilon=epsilon, delta=delta, samples=samples, seed=seed,
+            use_absorption=use_absorption, use_partition=use_partition,
+        )
+        if report.exact:
+            self._exact_cache[cache_key] = report
+        return report
+
+    def clear_cache(self) -> None:
+        """Drop memoised exact answers (freed memory, same results)."""
+        self._exact_cache.clear()
+
+    def _answer(
+        self,
+        competitors: List[ObjectValues],
+        target_values: ObjectValues,
+        method: str,
+        *,
+        epsilon: float,
+        delta: float,
+        samples: int | None,
+        seed: object,
+        use_absorption: bool,
+        use_partition: bool,
+    ) -> SkylineReport:
+        if method == "det":
+            result = skyline_probability_det(
+                self._preferences,
+                competitors,
+                target_values,
+                max_objects=self._max_exact_objects,
+            )
+            return SkylineReport(
+                result.probability, "det", True, partition_results=(result,)
+            )
+        if method == "naive":
+            probability = skyline_probability_naive(
+                self._preferences, competitors, target_values
+            )
+            return SkylineReport(probability, "naive", True)
+        if method == "sam":
+            result = skyline_probability_sampled(
+                self._preferences,
+                competitors,
+                target_values,
+                epsilon=epsilon,
+                delta=delta,
+                samples=samples,
+                seed=seed,
+            )
+            return SkylineReport(
+                result.estimate,
+                "sam",
+                False,
+                partition_results=(result,),
+                samples=result.samples,
+            )
+        prep = preprocess(
+            competitors,
+            target_values,
+            preferences=self._preferences,
+            use_absorption=use_absorption,
+            use_partition=use_partition,
+        )
+        if method == "det+":
+            return self._solve_partitions(
+                competitors, target_values, prep, allow_sampling=False,
+                epsilon=epsilon, delta=delta, samples=samples, seed=seed,
+                method_name="det+",
+            )
+        if method == "sam+":
+            kept = [competitors[i] for i in prep.kept_indices]
+            result = skyline_probability_sampled(
+                self._preferences,
+                kept,
+                target_values,
+                epsilon=epsilon,
+                delta=delta,
+                samples=samples,
+                seed=seed,
+            )
+            return SkylineReport(
+                result.estimate,
+                "sam+",
+                False,
+                preprocessing=prep,
+                partition_results=(result,),
+                samples=result.samples,
+            )
+        # method == "auto": exact small partitions, sample the rest.
+        return self._solve_partitions(
+            competitors, target_values, prep, allow_sampling=True,
+            epsilon=epsilon, delta=delta, samples=samples, seed=seed,
+            method_name="auto",
+        )
+
+    def _solve_partitions(
+        self,
+        competitors: List[ObjectValues],
+        target_values: ObjectValues,
+        prep: PreprocessResult,
+        *,
+        allow_sampling: bool,
+        epsilon: float,
+        delta: float,
+        samples: int | None,
+        seed: object,
+        method_name: str,
+    ) -> SkylineReport:
+        """Multiply per-partition results per Theorem 4.
+
+        Partitions within the exact budget go to Algorithm 1.  Oversized
+        ones either fail (``det+``) or are sampled with the ε/δ budget
+        split evenly among them, keeping the product inside the requested
+        accuracy (absolute errors of [0, 1] factors add at worst).
+        """
+        oversized = [
+            part
+            for part in prep.partitions
+            if len(part) > self._max_exact_objects
+        ]
+        if oversized and not allow_sampling:
+            raise ComputationBudgetError(
+                f"efficient exact computation impossible: partition of size "
+                f"{max(len(part) for part in oversized)} exceeds "
+                f"max_exact_objects={self._max_exact_objects}; "
+                f"use method='sam+' or 'auto'"
+            )
+        share = max(1, len(oversized))
+        # One generator shared by all sampled partitions: re-seeding each
+        # partition with the same integer would correlate their estimates
+        # and bias the product.
+        rng = as_rng(seed) if oversized else None
+        probability = 1.0
+        results: List[object] = []
+        total_samples = 0
+        exact = True
+        for part in prep.partitions:
+            group = [competitors[i] for i in part]
+            if len(part) <= self._max_exact_objects:
+                result: object = skyline_probability_det(
+                    self._preferences,
+                    group,
+                    target_values,
+                    max_objects=self._max_exact_objects,
+                )
+                probability *= result.probability
+            else:
+                result = skyline_probability_sampled(
+                    self._preferences,
+                    group,
+                    target_values,
+                    epsilon=epsilon / share,
+                    delta=delta / share,
+                    samples=samples,
+                    seed=rng,
+                )
+                probability *= result.estimate
+                total_samples += result.samples
+                exact = False
+            results.append(result)
+            if probability == 0.0:
+                break
+        return SkylineReport(
+            min(max(probability, 0.0), 1.0),
+            method_name,
+            exact,
+            preprocessing=prep,
+            partition_results=tuple(results),
+            samples=total_samples,
+        )
+
+    # ------------------------------------------------------------------
+    # Dataset-level operators
+    # ------------------------------------------------------------------
+    def skyline_probabilities(
+        self,
+        *,
+        method: str = "auto",
+        indices: Sequence[int] | None = None,
+        **query_options: object,
+    ) -> List[float]:
+        """``sky`` for every object (or a subset of indices), in order."""
+        if indices is None:
+            indices = range(len(self._dataset))
+        return [
+            self.skyline_probability(index, method=method, **query_options).probability
+            for index in indices
+        ]
+
+    def probabilistic_skyline(
+        self,
+        tau: float,
+        *,
+        method: str = "auto",
+        **query_options: object,
+    ) -> List[int]:
+        """Indices of objects with ``sky ≥ τ`` (the probabilistic skyline).
+
+        This is the paper's target operator (Section 1); it simply runs
+        the single-object query for every object, as the paper prescribes
+        for the general case.
+        """
+        if not 0 < tau <= 1:
+            raise ReproError(f"threshold tau must lie in (0, 1], got {tau!r}")
+        probabilities = self.skyline_probabilities(method=method, **query_options)
+        return [
+            index
+            for index, probability in enumerate(probabilities)
+            if probability >= tau
+        ]
+
+    def top_k(
+        self,
+        k: int,
+        *,
+        method: str = "auto",
+        **query_options: object,
+    ) -> List[Tuple[int, float]]:
+        """The ``k`` objects with the highest skyline probability.
+
+        Returns ``(index, probability)`` pairs, descending by probability
+        (ties broken by index for determinism).  See
+        :mod:`repro.core.topk` for the shared-world estimator that scales
+        this to large datasets.
+        """
+        if k <= 0:
+            raise ReproError(f"k must be positive, got {k!r}")
+        probabilities = self.skyline_probabilities(method=method, **query_options)
+        ranked = sorted(
+            enumerate(probabilities), key=lambda pair: (-pair[1], pair[0])
+        )
+        return ranked[: min(k, len(ranked))]
+
+    # ------------------------------------------------------------------
+    def _resolve_target(
+        self, target: int | Sequence[Value]
+    ) -> Tuple[List[ObjectValues], ObjectValues]:
+        """Competitor list + target values for an index or object query."""
+        if isinstance(target, int):
+            return list(self._dataset.others(target)), self._dataset[target]
+        values = as_object(target)
+        if len(values) != self._dataset.dimensionality:
+            raise DimensionalityError(
+                f"target has {len(values)} dimensions, dataset has "
+                f"{self._dataset.dimensionality}"
+            )
+        competitors = [obj for obj in self._dataset if obj != values]
+        return competitors, values

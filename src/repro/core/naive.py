@@ -1,0 +1,183 @@
+"""Exhaustive possible-world enumeration (the paper's naive baseline).
+
+Two enumerators live here; both are exponential and exist to be *obviously
+correct*:
+
+* :func:`skyline_probability_naive` — the O-centric enumeration used in
+  the introduction's observation: only the binary outcomes "is ``v``
+  preferred to ``O.j``" matter for ``sky(O)``, so it enumerates 2^P worlds
+  over the P relevant ``(dimension, value)`` preference variables.
+
+* :func:`enumerate_worlds` / :func:`skyline_probabilities_naive` — the full
+  sample-space enumeration of Figure 2/Figure 7: every distinct value pair
+  on every dimension is resolved to one of its three outcomes
+  (``a ≺ b``, ``b ≺ a``, incomparable), and each fully resolved world
+  yields a deterministic skyline.  This evaluates *all* objects' skyline
+  probabilities at once and is the reference for the probabilistic-skyline
+  operator.
+
+Everything downstream (Det, Det+, Sam, Sam+) is validated against these.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.core.dominance import dominance_factors, dominates_under
+from repro.core.objects import Dataset, Value
+from repro.core.preferences import PreferenceModel
+from repro.errors import ComputationBudgetError
+
+__all__ = [
+    "skyline_probability_naive",
+    "enumerate_worlds",
+    "skyline_probabilities_naive",
+    "World",
+]
+
+#: A fully resolved world: (dimension, a, b) -> "is a strictly preferred to b".
+World = Dict[Tuple[int, Value, Value], bool]
+
+_DEFAULT_MAX_PAIRS = 22
+
+
+def skyline_probability_naive(
+    preferences: PreferenceModel,
+    competitors: Sequence[Sequence[Value]],
+    target: Sequence[Value],
+    *,
+    max_pairs: int = _DEFAULT_MAX_PAIRS,
+) -> float:
+    """``sky(target)`` by enumerating outcomes of all relevant preferences.
+
+    Only preferences between a competitor value and the target's value on
+    the same dimension can influence ``sky(target)``; each such variable
+    is binary for our purposes (either ``v ≺ O.j`` holds or it does not —
+    "reverse" and "incomparable" both block dominance).  The enumeration
+    is 2^P over the P distinct relevant variables, guarded by
+    ``max_pairs``.
+    """
+    # Distinct relevant variables with their probabilities, insertion-ordered.
+    variable_index: Dict[Tuple[int, Value], int] = {}
+    probabilities: List[float] = []
+    competitor_variables: List[List[int]] = []
+    for q in competitors:
+        factors = dominance_factors(preferences, q, target)
+        if not factors:
+            return 0.0  # duplicate of target: dominated with certainty
+        indices = []
+        for dimension, value, probability in factors:
+            key = (dimension, value)
+            if key not in variable_index:
+                variable_index[key] = len(probabilities)
+                probabilities.append(probability)
+            indices.append(variable_index[key])
+        competitor_variables.append(indices)
+    pair_count = len(probabilities)
+    if pair_count > max_pairs:
+        raise ComputationBudgetError(
+            f"naive enumeration needs 2^{pair_count} worlds, beyond the "
+            f"max_pairs={max_pairs} guard"
+        )
+    total = 0.0
+    for mask in range(1 << pair_count):
+        world_probability = 1.0
+        for bit, probability in enumerate(probabilities):
+            world_probability *= (
+                probability if mask >> bit & 1 else 1.0 - probability
+            )
+            if world_probability == 0.0:
+                break
+        if world_probability == 0.0:
+            continue
+        dominated = any(
+            all(mask >> bit & 1 for bit in indices)
+            for indices in competitor_variables
+        )
+        if not dominated:
+            total += world_probability
+    return min(max(total, 0.0), 1.0)
+
+
+def enumerate_worlds(
+    preferences: PreferenceModel,
+    dataset: Dataset,
+    *,
+    max_pairs: int = _DEFAULT_MAX_PAIRS,
+) -> Iterator[Tuple[World, float]]:
+    """Yield every fully resolved world of the dataset with its probability.
+
+    A world fixes, for each distinct pair of values co-occurring on a
+    dimension, one of the three outcomes; worlds with probability 0 are
+    skipped.  Outcome probabilities multiply across pairs per the paper's
+    independence assumptions.  This is the Figure 2 enumeration.
+    """
+    pairs: List[Tuple[int, Value, Value, float, float]] = []
+    for dimension in range(dataset.dimensionality):
+        values = sorted(dataset.values_on(dimension), key=repr)
+        for a, b in combinations(values, 2):
+            forward = preferences.prob_prefers(dimension, a, b)
+            backward = preferences.prob_prefers(dimension, b, a)
+            pairs.append((dimension, a, b, forward, backward))
+    if len(pairs) > max_pairs:
+        raise ComputationBudgetError(
+            f"full world enumeration over {len(pairs)} value pairs needs up "
+            f"to 3^{len(pairs)} worlds, beyond the max_pairs={max_pairs} guard"
+        )
+
+    world: World = {}
+
+    def resolve(index: int, probability: float) -> Iterator[Tuple[World, float]]:
+        if probability == 0.0:
+            return
+        if index == len(pairs):
+            yield dict(world), probability
+            return
+        dimension, a, b, forward, backward = pairs[index]
+        incomparable = max(0.0, 1.0 - forward - backward)
+        for a_wins, b_wins, outcome_probability in (
+            (True, False, forward),
+            (False, True, backward),
+            (False, False, incomparable),
+        ):
+            if outcome_probability == 0.0:
+                continue
+            world[(dimension, a, b)] = a_wins
+            world[(dimension, b, a)] = b_wins
+            yield from resolve(index + 1, probability * outcome_probability)
+        del world[(dimension, a, b)]
+        del world[(dimension, b, a)]
+
+    yield from resolve(0, 1.0)
+
+
+def skyline_probabilities_naive(
+    preferences: PreferenceModel,
+    dataset: Dataset,
+    *,
+    max_pairs: int = _DEFAULT_MAX_PAIRS,
+) -> List[float]:
+    """Every object's ``sky`` probability by full world enumeration.
+
+    Returns one probability per dataset object, aligned with
+    ``dataset.objects``.  This is the reference implementation of the
+    probabilistic-skyline operator on small spaces.
+    """
+    totals = [0.0] * len(dataset)
+    for world, probability in enumerate_worlds(
+        preferences, dataset, max_pairs=max_pairs
+    ):
+
+        def prefers(dimension: int, a: Value, b: Value) -> bool:
+            return world[(dimension, a, b)]
+
+        for index, candidate in enumerate(dataset):
+            dominated = any(
+                dominates_under(prefers, other, candidate)
+                for other_index, other in enumerate(dataset)
+                if other_index != index
+            )
+            if not dominated:
+                totals[index] += probability
+    return [min(max(total, 0.0), 1.0) for total in totals]

@@ -1,0 +1,280 @@
+"""Fixed-value categorical objects and datasets.
+
+The paper's data model (Section 2): a ``d``-dimensional space holds ``n + 1``
+objects with *fixed* attribute values — all uncertainty lives in the
+preferences between values, never in the values themselves.  Values are
+arbitrary hashable Python objects (strings, ints, enums); they are opaque to
+the algorithms, which only ever compare them for equality and look up
+preference probabilities between them.
+
+A :class:`Dataset` is an immutable ordered collection of such objects with a
+uniform dimensionality, optional human-readable labels, and the paper's
+no-duplicates assumption enforced (it is what lets weak per-dimension
+preference imply strict dominance, Equation 2).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.errors import DatasetError, DimensionalityError, DuplicateObjectError
+
+Value = Hashable
+ObjectValues = Tuple[Value, ...]
+
+__all__ = ["Value", "ObjectValues", "Dataset", "as_object"]
+
+
+def as_object(values: Sequence[Value]) -> ObjectValues:
+    """Normalise a value sequence into the canonical tuple form.
+
+    Strings are rejected as whole-object inputs: ``as_object("abc")`` would
+    silently become a 3-dimensional object of characters, which is never
+    what a caller means.
+    """
+    if isinstance(values, (str, bytes)):
+        raise DatasetError(
+            f"an object must be a sequence of per-dimension values, got the "
+            f"scalar-like {values!r}; wrap single values in a list/tuple"
+        )
+    return tuple(values)
+
+
+class Dataset:
+    """An immutable collection of fixed-value categorical objects.
+
+    Parameters
+    ----------
+    objects:
+        Sequence of value sequences, one per object; all must share the
+        same length (the dimensionality).
+    labels:
+        Optional human-readable names, one per object.  Defaults to
+        ``"Q1" .. "Qn"`` to match the paper's notation.
+    allow_duplicates:
+        The paper assumes no duplicate objects (Section 2, "for reasons of
+        simplicity, we assume no duplicate objects").  Pass ``True`` only
+        for raw data that will be deduplicated via :meth:`deduplicated`.
+    """
+
+    __slots__ = ("_objects", "_labels", "_dimensionality")
+
+    def __init__(
+        self,
+        objects: Iterable[Sequence[Value]],
+        *,
+        labels: Sequence[str] | None = None,
+        allow_duplicates: bool = False,
+    ) -> None:
+        normalised = [as_object(obj) for obj in objects]
+        if not normalised:
+            raise DatasetError("a dataset must contain at least one object")
+        dimensionality = len(normalised[0])
+        if dimensionality == 0:
+            raise DimensionalityError("objects must have at least one dimension")
+        for index, obj in enumerate(normalised):
+            if len(obj) != dimensionality:
+                raise DimensionalityError(
+                    f"object {index} has {len(obj)} dimensions, "
+                    f"expected {dimensionality}"
+                )
+        if not allow_duplicates:
+            seen: Dict[ObjectValues, int] = {}
+            for index, obj in enumerate(normalised):
+                if obj in seen:
+                    raise DuplicateObjectError(
+                        f"objects {seen[obj]} and {index} are identical "
+                        f"({obj!r}); the model assumes no duplicates — "
+                        f"pass allow_duplicates=True and call .deduplicated()"
+                    )
+                seen[obj] = index
+        if labels is None:
+            label_list = [f"Q{i + 1}" for i in range(len(normalised))]
+        else:
+            label_list = [str(label) for label in labels]
+            if len(label_list) != len(normalised):
+                raise DatasetError(
+                    f"{len(label_list)} labels supplied for "
+                    f"{len(normalised)} objects"
+                )
+        self._objects: Tuple[ObjectValues, ...] = tuple(normalised)
+        self._labels: Tuple[str, ...] = tuple(label_list)
+        self._dimensionality = dimensionality
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[ObjectValues]:
+        return iter(self._objects)
+
+    def __getitem__(self, index: int) -> ObjectValues:
+        return self._objects[index]
+
+    def __contains__(self, obj: object) -> bool:
+        try:
+            return as_object(obj) in self._objects  # type: ignore[arg-type]
+        except DatasetError:
+            return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dataset):
+            return NotImplemented
+        return self._objects == other._objects and self._labels == other._labels
+
+    def __hash__(self) -> int:
+        return hash((self._objects, self._labels))
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(n={len(self)}, d={self._dimensionality}, "
+            f"first={self._objects[0]!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def dimensionality(self) -> int:
+        """Number of dimensions ``d`` shared by all objects."""
+        return self._dimensionality
+
+    @property
+    def cardinality(self) -> int:
+        """Number of objects ``n`` in the dataset."""
+        return len(self._objects)
+
+    @property
+    def objects(self) -> Tuple[ObjectValues, ...]:
+        """All objects, in insertion order."""
+        return self._objects
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """Human-readable object names, aligned with :attr:`objects`."""
+        return self._labels
+
+    def label_of(self, index: int) -> str:
+        """Label of the object at ``index``."""
+        return self._labels[index]
+
+    def index_of(self, obj: Sequence[Value]) -> int:
+        """Index of ``obj`` in the dataset (raises ``ValueError`` if absent)."""
+        return self._objects.index(as_object(obj))
+
+    def values_on(self, dimension: int) -> Set[Value]:
+        """Distinct values appearing on ``dimension`` across all objects."""
+        self._check_dimension(dimension)
+        return {obj[dimension] for obj in self._objects}
+
+    def values_by_dimension(self) -> List[Set[Value]]:
+        """Distinct values per dimension, as a list of sets."""
+        return [self.values_on(j) for j in range(self._dimensionality)]
+
+    def others(self, index: int) -> List[ObjectValues]:
+        """All objects except the one at ``index``.
+
+        This is the ``Q_1 .. Q_n`` view when computing ``sky(O)`` for the
+        object at ``index``.
+        """
+        self._check_index(index)
+        return [obj for i, obj in enumerate(self._objects) if i != index]
+
+    def project(self, dimensions: Sequence[int]) -> "Dataset":
+        """Project onto a subset of dimensions, deduplicating the result.
+
+        Projection generally creates duplicates (e.g. the paper's 4-d view
+        of the Nursery data), so the result is deduplicated; labels of kept
+        objects are the label of the first occurrence.
+        """
+        if not dimensions:
+            raise DimensionalityError("projection needs at least one dimension")
+        for dim in dimensions:
+            self._check_dimension(dim)
+        seen: Dict[ObjectValues, str] = {}
+        for obj, label in zip(self._objects, self._labels):
+            projected = tuple(obj[j] for j in dimensions)
+            seen.setdefault(projected, label)
+        return Dataset(list(seen), labels=list(seen.values()))
+
+    def deduplicated(self) -> "Dataset":
+        """Return a copy with duplicate objects removed (first kept)."""
+        seen: Dict[ObjectValues, str] = {}
+        for obj, label in zip(self._objects, self._labels):
+            seen.setdefault(obj, label)
+        return Dataset(list(seen), labels=list(seen.values()))
+
+    def sample(self, size: int, *, seed: object = None) -> "Dataset":
+        """A uniform random sub-dataset of ``size`` objects (no replacement)."""
+        from repro.util.rng import as_rng
+
+        if not 0 < size <= len(self):
+            raise DatasetError(
+                f"sample size {size} out of range for {len(self)} objects"
+            )
+        rng = as_rng(seed)
+        chosen = sorted(rng.choice(len(self), size=size, replace=False).tolist())
+        return Dataset(
+            [self._objects[i] for i in chosen],
+            labels=[self._labels[i] for i in chosen],
+        )
+
+    def with_labels(self, labels: Sequence[str]) -> "Dataset":
+        """Copy of the dataset with new labels."""
+        return Dataset(self._objects, labels=labels)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form (values must be JSON-serialisable to dump)."""
+        return {
+            "dimensionality": self._dimensionality,
+            "labels": list(self._labels),
+            "objects": [list(obj) for obj in self._objects],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Dataset":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            objects = payload["objects"]
+            labels = payload.get("labels")
+        except (TypeError, KeyError) as exc:
+            raise DatasetError(f"malformed dataset payload: {payload!r}") from exc
+        dataset = cls(objects, labels=labels)
+        declared = payload.get("dimensionality")
+        if declared is not None and declared != dataset.dimensionality:
+            raise DimensionalityError(
+                f"payload declares dimensionality {declared} but objects "
+                f"have {dataset.dimensionality}"
+            )
+        return dataset
+
+    def to_json(self) -> str:
+        """JSON string form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "Dataset":
+        """Inverse of :meth:`to_json` (JSON turns tuple values into lists)."""
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Internal checks
+    # ------------------------------------------------------------------
+    def _check_dimension(self, dimension: int) -> None:
+        if not 0 <= dimension < self._dimensionality:
+            raise DimensionalityError(
+                f"dimension {dimension} out of range "
+                f"(dataset has {self._dimensionality})"
+            )
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self._objects):
+            raise DatasetError(
+                f"object index {index} out of range (dataset has {len(self)})"
+            )

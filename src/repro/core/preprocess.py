@@ -1,0 +1,259 @@
+"""Preprocessing speed-ups: absorption and partition (Section 5).
+
+Both techniques shrink the set of competitors that must enter the
+exponential exact computation (or the sampling loop) *without changing the
+answer*:
+
+* **Absorption** (Theorem 3, Algorithm 3).  Let ``Γ(Q)`` be the set of
+  ``(dimension, value)`` pairs where ``Q`` differs from the target ``O``.
+  If ``Γ(A) ⊆ Γ(B)`` — i.e. ``B`` carries all of ``A``'s differing values —
+  then ``B ≺ O`` implies ``A ≺ O``, so the event ``e_B`` is contained in
+  ``e_A`` and ``B`` contributes nothing to the union in Equation 3: it is
+  *absorbed* by ``A``.  Absorption is transitive (Corollary 1), so one
+  pass in arbitrary order removes every absorbable object.
+
+* **Partition** (Theorem 4).  Dominance events touch only the preference
+  variables between a competitor value and the target value on the same
+  dimension.  Competitors that share no such variable — transitively —
+  have mutually independent union events, so ``sky(O)`` factors into a
+  product over the connected components of the value-sharing graph.  Each
+  component can then be solved exactly on its own (usually tiny) event set.
+
+A third, probability-aware filter is included: a competitor with a zero
+preference factor can never dominate (``Pr(e_i) = 0``) and may be dropped
+before partitioning, which also stops it from gluing components together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.dominance import dominance_factors
+from repro.core.objects import ObjectValues, Value, as_object
+from repro.core.preferences import PreferenceModel
+from repro.errors import DatasetError
+from repro.util.unionfind import UnionFind
+
+__all__ = [
+    "AbsorptionResult",
+    "PreprocessResult",
+    "absorb",
+    "partition",
+    "drop_never_dominators",
+    "preprocess",
+]
+
+_DifferingKey = Tuple[int, Value]
+
+
+def _differing_keys(
+    competitor: Sequence[Value], target: Sequence[Value]
+) -> Tuple[_DifferingKey, ...]:
+    """``Γ(Q)``: the (dimension, value) pairs where Q differs from O."""
+    return tuple(
+        (dimension, value)
+        for dimension, (value, target_value) in enumerate(zip(competitor, target))
+        if value != target_value
+    )
+
+
+@dataclass(frozen=True)
+class AbsorptionResult:
+    """Outcome of the absorption pass.
+
+    ``kept_indices`` are positions (into the original competitor sequence)
+    of survivors, in their original order; ``absorbed_by`` maps each
+    removed competitor to the survivor whose scan removed it.
+    """
+
+    kept_indices: Tuple[int, ...]
+    absorbed_by: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def removed_count(self) -> int:
+        """How many competitors were absorbed."""
+        return len(self.absorbed_by)
+
+
+def absorb(
+    competitors: Sequence[Sequence[Value]],
+    target: Sequence[Value],
+) -> AbsorptionResult:
+    """One-pass absorption (Algorithm 3), index-accelerated.
+
+    For each still-alive competitor ``Q_i`` the pass removes every other
+    alive competitor matching ``Q_i`` on all of ``Q_i``'s differing
+    dimensions.  Correct in a single arbitrary-order pass by the
+    transitivity of absorption (Corollary 1).  A competitor identical to
+    the target (``Γ = ∅``) is left alone here — the no-duplicates
+    assumption makes it an upstream error, handled by the caller.
+    """
+    target = as_object(target)
+    objects = [as_object(q) for q in competitors]
+    keys = [_differing_keys(q, target) for q in objects]
+    # Inverted index: (dimension, value) -> alive competitor positions.
+    buckets: Dict[_DifferingKey, Set[int]] = {}
+    for position, gamma in enumerate(keys):
+        for key in gamma:
+            buckets.setdefault(key, set()).add(position)
+    alive = [True] * len(objects)
+    absorbed_by: Dict[int, int] = {}
+    for position, gamma in enumerate(keys):
+        if not alive[position] or not gamma:
+            continue
+        # Scan the smallest bucket and verify the full Γ match there.
+        smallest = min(
+            (buckets.get(key, frozenset()) for key in gamma), key=len
+        )
+        required = set(gamma)
+        for candidate in list(smallest):
+            if candidate == position or not alive[candidate]:
+                continue
+            if required <= set(keys[candidate]):
+                alive[candidate] = False
+                absorbed_by[candidate] = position
+                for key in keys[candidate]:
+                    buckets[key].discard(candidate)
+    kept = tuple(position for position, ok in enumerate(alive) if ok)
+    return AbsorptionResult(kept, absorbed_by)
+
+
+def partition(
+    competitors: Sequence[Sequence[Value]],
+    target: Sequence[Value],
+    indices: Sequence[int] | None = None,
+) -> List[List[int]]:
+    """Group competitors into value-disjoint components (Theorem 4).
+
+    Two competitors land in the same component when they share a value on
+    some dimension where that value differs from the target's — i.e. when
+    their dominance events read a common preference variable.  Values
+    equal to the target's never induce dependence and are ignored.
+
+    Returns lists of positions (into ``competitors``), deterministic in
+    first-seen order.  ``indices`` restricts the input to a subset (e.g.
+    absorption survivors).
+    """
+    target = as_object(target)
+    if indices is None:
+        indices = range(len(competitors))
+    union_find: UnionFind = UnionFind()
+    anchor: Dict[_DifferingKey, int] = {}
+    for position in indices:
+        union_find.add(position)
+        for key in _differing_keys(as_object(competitors[position]), target):
+            if key in anchor:
+                union_find.union(anchor[key], position)
+            else:
+                anchor[key] = position
+    return [sorted(component) for component in union_find.components()]
+
+
+def drop_never_dominators(
+    preferences: PreferenceModel,
+    competitors: Sequence[Sequence[Value]],
+    target: Sequence[Value],
+    indices: Sequence[int] | None = None,
+) -> Tuple[List[int], List[int]]:
+    """Split positions into (possible dominators, impossible ones).
+
+    A competitor with any zero preference factor towards the target has
+    ``Pr(e_i) = 0``; its event is null and removing it changes neither the
+    union (Equation 3) nor the partition structure it would otherwise
+    pollute.
+    """
+    if indices is None:
+        indices = range(len(competitors))
+    possible: List[int] = []
+    impossible: List[int] = []
+    for position in indices:
+        factors = dominance_factors(preferences, competitors[position], target)
+        if any(probability == 0.0 for _, _, probability in factors):
+            impossible.append(position)
+        else:
+            possible.append(position)
+    return possible, impossible
+
+
+@dataclass(frozen=True)
+class PreprocessResult:
+    """Combined outcome of the full preprocessing pipeline.
+
+    All indices refer to positions in the original competitor sequence.
+    ``partitions`` covers exactly the kept competitors; multiplying the
+    per-partition skyline probabilities yields ``sky(target)``.
+    """
+
+    target: ObjectValues
+    kept_indices: Tuple[int, ...]
+    absorbed_by: Dict[int, int]
+    dropped_impossible: Tuple[int, ...]
+    partitions: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def kept_count(self) -> int:
+        """Competitors surviving all preprocessing."""
+        return len(self.kept_indices)
+
+    @property
+    def largest_partition(self) -> int:
+        """Size of the biggest component (drives exact-solve feasibility)."""
+        return max((len(part) for part in self.partitions), default=0)
+
+    def partition_objects(
+        self, competitors: Sequence[Sequence[Value]]
+    ) -> List[List[ObjectValues]]:
+        """Materialise each partition as its list of competitor objects."""
+        return [
+            [as_object(competitors[position]) for position in part]
+            for part in self.partitions
+        ]
+
+
+def preprocess(
+    competitors: Sequence[Sequence[Value]],
+    target: Sequence[Value],
+    *,
+    preferences: PreferenceModel | None = None,
+    use_absorption: bool = True,
+    use_partition: bool = True,
+) -> PreprocessResult:
+    """Run the paper's preprocessing pipeline for one target object.
+
+    Order follows Section 5: absorption first (so partitions need no
+    further absorption), then the zero-probability filter (needs
+    ``preferences``; skipped when not supplied), then partition.  Any
+    stage can be disabled for ablation studies.
+    """
+    target = as_object(target)
+    for position, q in enumerate(competitors):
+        if as_object(q) == target:
+            raise DatasetError(
+                f"competitor {position} equals the target {target!r}; "
+                f"sky(target) would be 0 by the duplicate convention"
+            )
+    if use_absorption:
+        absorption = absorb(competitors, target)
+    else:
+        absorption = AbsorptionResult(tuple(range(len(competitors))), {})
+    kept: Sequence[int] = absorption.kept_indices
+    dropped: Tuple[int, ...] = ()
+    if preferences is not None:
+        possible, impossible = drop_never_dominators(
+            preferences, competitors, target, kept
+        )
+        kept, dropped = possible, tuple(impossible)
+    if use_partition:
+        partitions = tuple(
+            tuple(part) for part in partition(competitors, target, kept)
+        )
+    else:
+        partitions = (tuple(kept),) if kept else ()
+    return PreprocessResult(
+        target=target,
+        kept_indices=tuple(kept),
+        absorbed_by=dict(absorption.absorbed_by),
+        dropped_impossible=dropped,
+        partitions=partitions,
+    )

@@ -1,0 +1,174 @@
+"""Sensitivity of a skyline probability to individual preferences.
+
+``sky(O)`` is a *multilinear* function of the preference outcome
+probabilities: conditioning on the outcome of one value pair ``(a, b)``
+splits the probability space into three slices whose conditional skyline
+probabilities do not depend on that pair's probabilities at all, so with
+``p = Pr(a ≺ b)`` and ``q = Pr(b ≺ a)``:
+
+    sky(O)(p, q) = p · S_fwd  +  q · S_bwd  +  (1 - p - q) · S_inc
+
+where ``S_fwd`` / ``S_bwd`` / ``S_inc`` are ``sky(O)`` with the pair
+pinned to "a certainly preferred" / "b certainly preferred" /
+"certainly incomparable".  Everything about how ``sky`` reacts to that
+preference is therefore **exact** after three pinned evaluations:
+
+* partial derivatives are constants (``S_fwd - S_inc`` in ``p`` with
+  ``q`` held fixed, ``S_bwd - S_inc`` in ``q``);
+* "what-if" analyses (how confident must summer guests be about beach
+  views before room X leaves the front page?) are solved in closed form
+  by :meth:`PreferenceSensitivity.threshold_for`.
+
+The pinned evaluations run the exact algorithm, so the usual Det budget
+considerations apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.exact import DEFAULT_MAX_OBJECTS, skyline_probability_det
+from repro.core.objects import Value
+from repro.core.preferences import PreferenceModel
+from repro.errors import PreferenceError
+
+__all__ = ["PreferenceSensitivity", "preference_sensitivity", "sky_profile"]
+
+
+@dataclass(frozen=True)
+class PreferenceSensitivity:
+    """Exact trilinear profile of ``sky(target)`` in one preference pair.
+
+    ``when_forward`` / ``when_backward`` / ``when_incomparable`` are the
+    conditional skyline probabilities given the pair's outcome;
+    ``current_forward`` / ``current_backward`` record the model's actual
+    probabilities and ``current`` the resulting skyline probability.
+    """
+
+    dimension: int
+    a: Value
+    b: Value
+    when_forward: float
+    when_backward: float
+    when_incomparable: float
+    current_forward: float
+    current_backward: float
+    current: float
+
+    @property
+    def forward_derivative(self) -> float:
+        """``∂ sky / ∂ Pr(a ≺ b)`` with ``Pr(b ≺ a)`` held fixed."""
+        return self.when_forward - self.when_incomparable
+
+    @property
+    def backward_derivative(self) -> float:
+        """``∂ sky / ∂ Pr(b ≺ a)`` with ``Pr(a ≺ b)`` held fixed."""
+        return self.when_backward - self.when_incomparable
+
+    def at(self, forward: float, backward: float | None = None) -> float:
+        """``sky(target)`` with the pair set to ``(forward, backward)``.
+
+        ``backward`` defaults to the model's current reverse probability;
+        the two must sum to at most 1.
+        """
+        if backward is None:
+            backward = self.current_backward
+        if not 0.0 <= forward <= 1.0 or not 0.0 <= backward <= 1.0:
+            raise PreferenceError(
+                f"probabilities must lie in [0, 1], got "
+                f"({forward!r}, {backward!r})"
+            )
+        if forward + backward > 1.0 + 1e-9:
+            raise PreferenceError(
+                f"Pr(a ≺ b) + Pr(b ≺ a) = {forward + backward:.6g} exceeds 1"
+            )
+        return (
+            forward * self.when_forward
+            + backward * self.when_backward
+            + (1.0 - forward - backward) * self.when_incomparable
+        )
+
+    def threshold_for(self, level: float) -> float | None:
+        """``Pr(a ≺ b)`` at which ``sky`` crosses ``level`` (closed form).
+
+        The reverse probability is held at its current value, so the
+        feasible range is ``[0, 1 - current_backward]``.  Returns ``None``
+        when the profile never reaches ``level`` in that range.
+        """
+        slope = self.forward_derivative
+        if slope == 0.0:
+            return None
+        intercept = self.at(0.0)
+        forward = (level - intercept) / slope
+        if 0.0 <= forward <= 1.0 - self.current_backward + 1e-12:
+            return min(max(forward, 0.0), 1.0)
+        return None
+
+
+def _pinned_model(
+    preferences: PreferenceModel,
+    dimension: int,
+    a: Value,
+    b: Value,
+    forward: float,
+    backward: float,
+) -> PreferenceModel:
+    clone = preferences.copy()
+    clone.set_preference(dimension, a, b, forward, backward)
+    return clone
+
+
+def preference_sensitivity(
+    preferences: PreferenceModel,
+    competitors: Sequence[Sequence[Value]],
+    target: Sequence[Value],
+    dimension: int,
+    a: Value,
+    b: Value,
+    *,
+    max_objects: int = DEFAULT_MAX_OBJECTS,
+) -> PreferenceSensitivity:
+    """Exact sensitivity of ``sky(target)`` to the pair ``(a, b)``.
+
+    Runs the exact algorithm on the three pinned instances; the result's
+    trilinear profile then answers any what-if about this pair without
+    further computation.
+    """
+    if a == b:
+        raise PreferenceError(
+            f"cannot vary the preference of {a!r} against itself"
+        )
+    current_forward = preferences.prob_prefers(dimension, a, b)
+    current_backward = preferences.prob_prefers(dimension, b, a)
+    pinned = {}
+    for name, forward, backward in (
+        ("forward", 1.0, 0.0),
+        ("backward", 0.0, 1.0),
+        ("incomparable", 0.0, 0.0),
+    ):
+        pinned[name] = skyline_probability_det(
+            _pinned_model(preferences, dimension, a, b, forward, backward),
+            competitors, target, max_objects=max_objects,
+        ).probability
+    current = skyline_probability_det(
+        preferences, competitors, target, max_objects=max_objects
+    ).probability
+    return PreferenceSensitivity(
+        dimension=dimension,
+        a=a,
+        b=b,
+        when_forward=pinned["forward"],
+        when_backward=pinned["backward"],
+        when_incomparable=pinned["incomparable"],
+        current_forward=current_forward,
+        current_backward=current_backward,
+        current=current,
+    )
+
+
+def sky_profile(
+    sensitivity: PreferenceSensitivity, forwards: Sequence[float]
+) -> List[float]:
+    """Evaluate the exact profile at several forward probabilities."""
+    return [sensitivity.at(forward) for forward in forwards]

@@ -1,0 +1,90 @@
+"""Classical (certain-preference) skyline computation.
+
+The uncertain-preference model degenerates to the classic skyline when
+every preference probability is 0 or 1.  This module implements that
+degenerate case — both directly from a deterministic
+:class:`~repro.core.preferences.PreferenceModel` and from an arbitrary
+"prefers" oracle (used by the world enumerator and the shared-world
+sampler, where the oracle answers one sampled world).
+
+A block-nested-loop skyline with incomparability support is all the paper
+needs as a substrate; dominance here follows the same definition as
+everywhere else (weakly preferred on all dimensions, strictly on one).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.core.dominance import dominates_under
+from repro.core.objects import Dataset, Value
+from repro.core.preferences import PreferenceModel
+from repro.errors import PreferenceError
+
+__all__ = [
+    "skyline_under_oracle",
+    "deterministic_skyline",
+    "is_skyline_point_under_oracle",
+    "expected_skyline_size",
+]
+
+PrefersOracle = Callable[[int, Value, Value], bool]
+
+
+def is_skyline_point_under_oracle(
+    dataset: Dataset, index: int, prefers: PrefersOracle
+) -> bool:
+    """Whether object ``index`` is dominated by nobody under the oracle."""
+    candidate = dataset[index]
+    return not any(
+        dominates_under(prefers, other, candidate)
+        for position, other in enumerate(dataset)
+        if position != index
+    )
+
+
+def skyline_under_oracle(dataset: Dataset, prefers: PrefersOracle) -> List[int]:
+    """Indices of all skyline points in one fully resolved world.
+
+    Straightforward block-nested-loop evaluation; with uncertain
+    preferences resolved by sampling, the oracle is a world from
+    :mod:`repro.core.naive` or :mod:`repro.core.topk`.
+    """
+    return [
+        index
+        for index in range(len(dataset))
+        if is_skyline_point_under_oracle(dataset, index, prefers)
+    ]
+
+
+def deterministic_skyline(
+    dataset: Dataset, preferences: PreferenceModel
+) -> List[int]:
+    """Classic skyline of a dataset under *certain* preferences.
+
+    Requires every relevant preference to be deterministic (probability
+    0 or 1); raises :class:`PreferenceError` otherwise, because a fuzzy
+    model has no single skyline — use the engine's probabilistic skyline
+    instead.
+    """
+
+    def prefers(dimension: int, a: Value, b: Value) -> bool:
+        probability = preferences.prob_prefers(dimension, a, b)
+        if probability not in (0.0, 1.0):
+            raise PreferenceError(
+                f"preference between {a!r} and {b!r} on dimension "
+                f"{dimension} is uncertain (p={probability}); the "
+                f"deterministic skyline requires certain preferences"
+            )
+        return probability == 1.0
+
+    return skyline_under_oracle(dataset, prefers)
+
+
+def expected_skyline_size(probabilities: Sequence[float]) -> float:
+    """Expected number of skyline points, ``Σ_i sky(O_i)``.
+
+    By linearity of expectation this needs no independence assumption,
+    so it is exact whenever the per-object probabilities are.
+    """
+    return float(sum(probabilities))

@@ -1,0 +1,59 @@
+"""Coverage validation: does a preference model cover a dataset?
+
+A skyline-probability computation touches the preference between every
+pair of values that co-occurs on a dimension.  A plain
+:class:`PreferenceModel` without a ``default`` raises lazily — midway
+through a long computation — when a pair was forgotten; these helpers
+check coverage *up front* so data-loading code can fail fast with a
+complete report.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Tuple
+
+from repro.core.objects import Dataset, Value
+from repro.core.preferences import PreferenceModel
+from repro.errors import PreferenceError, UnknownPreferenceError
+
+__all__ = ["missing_preference_pairs", "validate_coverage"]
+
+
+def missing_preference_pairs(
+    preferences: PreferenceModel, dataset: Dataset
+) -> List[Tuple[int, Value, Value]]:
+    """All co-occurring value pairs the model cannot resolve.
+
+    Returns ``(dimension, a, b)`` triples in deterministic order; empty
+    when every pair resolves (explicitly, via the default policy, or
+    procedurally).
+    """
+    if preferences.dimensionality != dataset.dimensionality:
+        raise PreferenceError(
+            f"preference model covers {preferences.dimensionality} "
+            f"dimensions but the dataset has {dataset.dimensionality}"
+        )
+    missing: List[Tuple[int, Value, Value]] = []
+    for dimension in range(dataset.dimensionality):
+        values = sorted(dataset.values_on(dimension), key=repr)
+        for a, b in combinations(values, 2):
+            try:
+                preferences.prob_prefers(dimension, a, b)
+            except UnknownPreferenceError:
+                missing.append((dimension, a, b))
+    return missing
+
+
+def validate_coverage(preferences: PreferenceModel, dataset: Dataset) -> None:
+    """Raise :class:`PreferenceError` listing every unresolvable pair."""
+    missing = missing_preference_pairs(preferences, dataset)
+    if missing:
+        preview = ", ".join(
+            f"dim {dimension}: {a!r} vs {b!r}"
+            for dimension, a, b in missing[:5]
+        )
+        suffix = "" if len(missing) <= 5 else f" (and {len(missing) - 5} more)"
+        raise PreferenceError(
+            f"{len(missing)} value pair(s) lack preferences: {preview}{suffix}"
+        )

@@ -1,0 +1,55 @@
+"""Workloads: the paper's synthetic generators (uniform, block-zipf),
+the exact Nursery reconstruction, preference generators, and the two
+worked examples used throughout the paper."""
+
+from repro.data.blockzipf import block_zipf_dataset, default_block_count
+from repro.data.examples import (
+    OBSERVATION_SAC_PROBABILITIES,
+    OBSERVATION_SKYLINE_PROBABILITIES,
+    RUNNING_EXAMPLE_LAYER_SUMS,
+    RUNNING_EXAMPLE_SAC_O,
+    RUNNING_EXAMPLE_SKY_O,
+    observation_example,
+    running_example,
+)
+from repro.data.nursery import (
+    NURSERY_ATTRIBUTES,
+    nursery_dataset,
+    nursery_preferences,
+)
+from repro.data.procedural import HashedPreferenceModel, LazyRankedPreferenceModel
+from repro.data.prefgen import (
+    anti_correlated_preferences,
+    correlated_preferences,
+    equal_preferences,
+    ordered_values,
+    random_preferences,
+    ranked_preferences,
+)
+from repro.data.uniform import domain, uniform_dataset, value_name
+
+__all__ = [
+    "uniform_dataset",
+    "block_zipf_dataset",
+    "default_block_count",
+    "value_name",
+    "domain",
+    "nursery_dataset",
+    "nursery_preferences",
+    "NURSERY_ATTRIBUTES",
+    "random_preferences",
+    "equal_preferences",
+    "ranked_preferences",
+    "correlated_preferences",
+    "anti_correlated_preferences",
+    "ordered_values",
+    "HashedPreferenceModel",
+    "LazyRankedPreferenceModel",
+    "observation_example",
+    "running_example",
+    "OBSERVATION_SKYLINE_PROBABILITIES",
+    "OBSERVATION_SAC_PROBABILITIES",
+    "RUNNING_EXAMPLE_SKY_O",
+    "RUNNING_EXAMPLE_SAC_O",
+    "RUNNING_EXAMPLE_LAYER_SUMS",
+]

@@ -1,0 +1,92 @@
+"""The paper's two worked examples, as canonical fixtures.
+
+Both layouts were reverse-engineered to match *every* number printed in
+the paper, so tests and documentation can assert against hard oracles:
+
+* **Observation example** (Figures 1–2): three 2-d objects, all value
+  pairs equally preferred at ½.
+
+  - ``sky(P1) = 1/2``   (Sac wrongly yields 3/8)
+  - ``sky(P2) = 1/4``   (Sac agrees — P1 and P3 share no values)
+  - ``sky(P3) = 1/2``   (Sac wrongly yields 3/8)
+
+* **Running example** (Figures 4, 5 and 7): O plus Q1..Q4 in 2-d, all
+  preferences ½.  Verified identities:
+
+  - ``Pr(e1 ∩ e2) = 1/4`` and ``Pr(e1 ∩ e2 ∩ e3) = 1/16`` (the sharing
+    computation example of Section 3);
+  - inclusion-exclusion layers ``T1..T4 = 3/2, 17/16, 7/16, 1/16`` giving
+    ``sky(O) = 1 - 3/2 + 17/16 - 7/16 + 1/16 = 3/16``;
+  - the independent-dominance assumption yields the wrong ``9/64``;
+  - Q1 is absorbed (by Q2 or Q4), and the survivors Q2, Q3, Q4 partition
+    into three singleton components (Section 5's illustration).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.objects import Dataset
+from repro.core.preferences import PreferenceModel
+
+__all__ = [
+    "observation_example",
+    "running_example",
+    "OBSERVATION_SKYLINE_PROBABILITIES",
+    "OBSERVATION_SAC_PROBABILITIES",
+    "RUNNING_EXAMPLE_SKY_O",
+    "RUNNING_EXAMPLE_SAC_O",
+    "RUNNING_EXAMPLE_LAYER_SUMS",
+]
+
+#: Exact sky() of P1, P2, P3 in the observation example.
+OBSERVATION_SKYLINE_PROBABILITIES = (0.5, 0.25, 0.5)
+
+#: What the independent-dominance baseline (Sac) computes instead.
+OBSERVATION_SAC_PROBABILITIES = (0.375, 0.25, 0.375)
+
+#: sky(O) of the running example (paper: 3/16).
+RUNNING_EXAMPLE_SKY_O = 3.0 / 16.0
+
+#: Sac's wrong answer for the running example (paper: 9/64).
+RUNNING_EXAMPLE_SAC_O = 9.0 / 64.0
+
+#: Inclusion-exclusion layer sums T_1..T_4 of the running example.
+RUNNING_EXAMPLE_LAYER_SUMS = (3.0 / 2.0, 17.0 / 16.0, 7.0 / 16.0, 1.0 / 16.0)
+
+
+def observation_example() -> Tuple[Dataset, PreferenceModel]:
+    """Figure 1's three-object space with all preferences at ½.
+
+    ``P1 = (s, α)``, ``P2 = (t, α)``, ``P3 = (t, β)``: P2 and P3 share
+    ``t`` (their dominance events over P1 are dependent), while P1 and P3
+    share nothing (so Sac gets ``sky(P2)`` right).
+    """
+    dataset = Dataset(
+        [("s", "alpha"), ("t", "alpha"), ("t", "beta")],
+        labels=["P1", "P2", "P3"],
+    )
+    return dataset, PreferenceModel.equal(2)
+
+
+def running_example() -> Tuple[Dataset, PreferenceModel]:
+    """Figure 4's five-object space with all preferences at ½.
+
+    Index 0 is ``O``; the competitors are
+
+    - ``Q1 = (x1, y1)`` — differs on both dimensions, absorbed,
+    - ``Q2 = (x1, o2)`` — shares ``x1`` with Q1,
+    - ``Q3 = (x2, y2)`` — value-disjoint from everything else,
+    - ``Q4 = (o1, y1)`` — shares ``y1`` with Q1.
+    """
+    dataset = Dataset(
+        [
+            ("o1", "o2"),
+            ("x1", "y1"),
+            ("x1", "o2"),
+            ("x2", "y2"),
+            ("o1", "y1"),
+        ],
+        labels=["O", "Q1", "Q2", "Q3", "Q4"],
+    )
+    return dataset, PreferenceModel.equal(2)

@@ -1,0 +1,135 @@
+"""Preference-model generators (Section 6's experimental settings).
+
+The paper evaluates on preference probabilities "randomly generated
+between [0, 1], with 0 and 1 degenerating uncertain preferences to
+traditional certain ones"; :func:`random_preferences` reproduces that.
+Figure 8's correlated / anti-correlated block-zipf variants are induced
+purely by *preferences* (the paper's point: the same block-zipf data can
+be correlated or anti-correlated with probabilities), implemented by
+:func:`correlated_preferences` / :func:`anti_correlated_preferences` on
+top of the rank order that the generated value names carry.
+
+All generators define preferences for every pair of values that co-occurs
+on a dimension of the given dataset, which is exactly the set of pairs any
+skyline-probability computation over that dataset can touch.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Sequence
+
+from repro.core.objects import Dataset, Value
+from repro.core.preferences import PreferenceModel
+from repro.errors import InvalidProbabilityError
+from repro.util.rng import as_rng
+
+__all__ = [
+    "random_preferences",
+    "equal_preferences",
+    "ranked_preferences",
+    "correlated_preferences",
+    "anti_correlated_preferences",
+    "ordered_values",
+]
+
+
+def ordered_values(dataset: Dataset) -> List[List[Value]]:
+    """Per-dimension value lists in canonical (repr) order.
+
+    Values produced by the workload generators embed zero-padded ranks,
+    so this order is their rank order; for arbitrary data it is merely a
+    deterministic order.
+    """
+    return [
+        sorted(dataset.values_on(dimension), key=repr)
+        for dimension in range(dataset.dimensionality)
+    ]
+
+
+def equal_preferences(dataset: Dataset, probability: float = 0.5) -> PreferenceModel:
+    """All distinct pairs equally preferred (the paper's examples)."""
+    return PreferenceModel.equal(dataset.dimensionality, probability)
+
+
+def random_preferences(
+    dataset: Dataset,
+    *,
+    seed: object = None,
+    incomparable_fraction: float = 0.0,
+) -> PreferenceModel:
+    """Uniformly random preference probabilities for every value pair.
+
+    With ``incomparable_fraction == 0`` every pair is fully comparable:
+    ``Pr(a ≺ b) ~ U[0, 1]`` and ``Pr(b ≺ a) = 1 - Pr(a ≺ b)`` (the
+    paper's setting).  A positive fraction first reserves, per pair, a
+    ``U[0, incomparable_fraction]`` share of incomparability mass and
+    splits the rest uniformly.
+    """
+    if not 0.0 <= incomparable_fraction <= 1.0:
+        raise InvalidProbabilityError(
+            f"incomparable_fraction must lie in [0, 1], "
+            f"got {incomparable_fraction!r}"
+        )
+    rng = as_rng(seed)
+    model = PreferenceModel(dataset.dimensionality)
+    for dimension, values in enumerate(ordered_values(dataset)):
+        for a, b in combinations(values, 2):
+            if incomparable_fraction:
+                slack = rng.uniform(0.0, incomparable_fraction)
+            else:
+                slack = 0.0
+            forward = rng.uniform(0.0, 1.0 - slack)
+            model.set_preference(dimension, a, b, forward, 1.0 - slack - forward)
+    return model
+
+
+def ranked_preferences(
+    values_by_dimension: Sequence[Sequence[Value]],
+    strength: float,
+    *,
+    flip_dimensions: Sequence[int] = (),
+) -> PreferenceModel:
+    """Preferences induced by a latent per-dimension ranking.
+
+    For values at ranks ``r < s`` on a dimension, the lower-ranked value
+    is preferred with probability ``strength`` (and dispreferred with
+    ``1 - strength``); dimensions in ``flip_dimensions`` use the reversed
+    ranking.  ``strength = 1`` degenerates to certain preferences,
+    ``strength = 0.5`` to the fully uncertain model.
+    """
+    if not 0.0 <= strength <= 1.0:
+        raise InvalidProbabilityError(
+            f"strength must lie in [0, 1], got {strength!r}"
+        )
+    flips = set(flip_dimensions)
+    model = PreferenceModel(len(values_by_dimension))
+    for dimension, values in enumerate(values_by_dimension):
+        forward = 1.0 - strength if dimension in flips else strength
+        for a, b in combinations(list(values), 2):
+            model.set_preference(dimension, a, b, forward, 1.0 - forward)
+    return model
+
+
+def correlated_preferences(
+    dataset: Dataset, strength: float = 0.9
+) -> PreferenceModel:
+    """Figure 8a: the same ranking direction on every dimension.
+
+    An object good on one dimension then tends to be good on all —
+    correlated data, few likely skyline points.
+    """
+    return ranked_preferences(ordered_values(dataset), strength)
+
+
+def anti_correlated_preferences(
+    dataset: Dataset, strength: float = 0.9
+) -> PreferenceModel:
+    """Figure 8b: the ranking direction flips on every other dimension.
+
+    Being good on one dimension then implies being bad on the next —
+    anti-correlated data, many likely skyline points.
+    """
+    values = ordered_values(dataset)
+    flips = tuple(range(1, len(values), 2))
+    return ranked_preferences(values, strength, flip_dimensions=flips)

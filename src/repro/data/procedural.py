@@ -1,0 +1,199 @@
+"""Procedural preference models for large-scale experiments.
+
+A materialised :class:`~repro.core.preferences.PreferenceModel` stores a
+probability per value pair, which is O(V²) per dimension — hopeless for
+the paper's larger workloads (a 5-d block-zipf data set with 10 000
+objects has tens of thousands of values per dimension).  The experiments
+only ever *read* preferences, though, so the model can be procedural:
+derive ``Pr(a ≺ b)`` on demand, deterministically, from a seed and the
+pair's identity.
+
+Two procedural models cover the paper's settings:
+
+* :class:`HashedPreferenceModel` — "randomly generated between [0, 1]"
+  (Section 6), implemented by hashing ``(seed, dimension, a, b)`` into a
+  uniform variate.  The same pair always resolves to the same
+  probability, so it is indistinguishable from a pre-generated table.
+* :class:`LazyRankedPreferenceModel` — the correlated/anti-correlated
+  models of Figure 8 (prefer the repr-lower value with probability
+  ``strength``; flipped dimensions reverse the direction), evaluated
+  from the value names' embedded rank order.
+
+Both subclass :class:`PreferenceModel`, so explicit
+:meth:`~PreferenceModel.set_preference` overrides still win over the
+procedural fallback and every algorithm works unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Sequence
+
+from repro.core.objects import Value
+from repro.core.preferences import PreferenceModel
+from repro.errors import InvalidProbabilityError
+
+__all__ = ["HashedPreferenceModel", "LazyRankedPreferenceModel"]
+
+
+def _hash_uniform(*parts: object) -> float:
+    """Deterministic uniform variate in [0, 1) from the parts' reprs."""
+    digest = hashlib.blake2b(
+        "\x1f".join(repr(part) for part in parts).encode(), digest_size=8
+    ).digest()
+    return struct.unpack(">Q", digest)[0] / 2.0**64
+
+
+class HashedPreferenceModel(PreferenceModel):
+    """Uniformly random preferences, derived on demand from a seed.
+
+    For each unordered pair the canonical orientation (repr-sorted) gets
+    ``Pr ~ U[0, 1 - slack]`` with ``slack ~ U[0, incomparable_fraction]``,
+    and the reverse orientation the remainder — the same distribution
+    :func:`repro.data.prefgen.random_preferences` materialises, without
+    storing anything.
+    """
+
+    def __init__(
+        self,
+        dimensionality: int,
+        *,
+        seed: int = 0,
+        incomparable_fraction: float = 0.0,
+    ) -> None:
+        super().__init__(dimensionality)
+        if not 0.0 <= incomparable_fraction <= 1.0:
+            raise InvalidProbabilityError(
+                f"incomparable_fraction must lie in [0, 1], "
+                f"got {incomparable_fraction!r}"
+            )
+        self._seed = int(seed)
+        self._incomparable_fraction = float(incomparable_fraction)
+
+    @property
+    def seed(self) -> int:
+        """Seed from which all pair probabilities derive."""
+        return self._seed
+
+    def prob_prefers(self, dimension: int, a: Value, b: Value) -> float:
+        self._check_dimension(dimension)
+        if a == b:
+            return 0.0
+        if self.has_preference(dimension, a, b):
+            return super().prob_prefers(dimension, a, b)
+        first, second = sorted((a, b), key=repr)
+        if self._incomparable_fraction:
+            slack = self._incomparable_fraction * _hash_uniform(
+                self._seed, "slack", dimension, first, second
+            )
+        else:
+            slack = 0.0
+        forward = (1.0 - slack) * _hash_uniform(
+            self._seed, "pref", dimension, first, second
+        )
+        return forward if (a, b) == (first, second) else 1.0 - slack - forward
+
+    def is_deterministic(self) -> bool:
+        """Hash-derived probabilities are continuous — never certain."""
+        return False
+
+    def copy(self) -> "HashedPreferenceModel":
+        clone = HashedPreferenceModel(
+            self.dimensionality,
+            seed=self._seed,
+            incomparable_fraction=self._incomparable_fraction,
+        )
+        for dimension in range(self.dimensionality):
+            for pair in self.pairs(dimension):
+                clone.set_preference(
+                    dimension, pair.a, pair.b, pair.forward, pair.backward
+                )
+        return clone
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        payload["procedural"] = {
+            "type": "hashed",
+            "seed": self._seed,
+            "incomparable_fraction": self._incomparable_fraction,
+        }
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"HashedPreferenceModel(d={self.dimensionality}, "
+            f"seed={self._seed}, "
+            f"incomparable_fraction={self._incomparable_fraction}, "
+            f"overrides={self.pair_count()})"
+        )
+
+
+class LazyRankedPreferenceModel(PreferenceModel):
+    """Rank-order preferences evaluated on demand (Figure 8 at scale).
+
+    The repr-lower value is preferred with probability ``strength``
+    (values generated by :mod:`repro.data` embed zero-padded ranks, so
+    repr order is rank order); dimensions in ``flip_dimensions`` reverse
+    the direction, producing the anti-correlated variant.
+    """
+
+    def __init__(
+        self,
+        dimensionality: int,
+        strength: float,
+        *,
+        flip_dimensions: Sequence[int] = (),
+    ) -> None:
+        super().__init__(dimensionality)
+        if not 0.0 <= strength <= 1.0:
+            raise InvalidProbabilityError(
+                f"strength must lie in [0, 1], got {strength!r}"
+            )
+        self._strength = float(strength)
+        self._flips = frozenset(int(dim) for dim in flip_dimensions)
+
+    @property
+    def strength(self) -> float:
+        """Probability that the rank-better value wins a comparison."""
+        return self._strength
+
+    def prob_prefers(self, dimension: int, a: Value, b: Value) -> float:
+        self._check_dimension(dimension)
+        if a == b:
+            return 0.0
+        if self.has_preference(dimension, a, b):
+            return super().prob_prefers(dimension, a, b)
+        a_first = repr(a) < repr(b)
+        if dimension in self._flips:
+            a_first = not a_first
+        return self._strength if a_first else 1.0 - self._strength
+
+    def is_deterministic(self) -> bool:
+        return self._strength in (0.0, 1.0) and super().is_deterministic()
+
+    def copy(self) -> "LazyRankedPreferenceModel":
+        clone = LazyRankedPreferenceModel(
+            self.dimensionality, self._strength, flip_dimensions=self._flips
+        )
+        for dimension in range(self.dimensionality):
+            for pair in self.pairs(dimension):
+                clone.set_preference(
+                    dimension, pair.a, pair.b, pair.forward, pair.backward
+                )
+        return clone
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        payload["procedural"] = {
+            "type": "ranked",
+            "strength": self._strength,
+            "flip_dimensions": sorted(self._flips),
+        }
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"LazyRankedPreferenceModel(d={self.dimensionality}, "
+            f"strength={self._strength}, flips={sorted(self._flips)})"
+        )

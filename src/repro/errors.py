@@ -1,0 +1,86 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  The concrete
+subclasses mirror the layers of the system: data model, preference model,
+algorithm budgets, and estimation.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DatasetError",
+    "DimensionalityError",
+    "DuplicateObjectError",
+    "PreferenceError",
+    "UnknownPreferenceError",
+    "InvalidProbabilityError",
+    "ComputationBudgetError",
+    "EstimationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class DatasetError(ReproError):
+    """A dataset is structurally invalid (wrong shapes, empty, ...)."""
+
+
+class DimensionalityError(DatasetError):
+    """An object's dimensionality does not match the dataset's."""
+
+
+class DuplicateObjectError(DatasetError):
+    """Duplicate objects violate the paper's no-duplicates assumption.
+
+    Section 2 of the paper assumes no duplicate objects in the space so
+    that weak dominance on every dimension implies strict dominance on at
+    least one.  Constructing a :class:`repro.core.objects.Dataset` with
+    duplicates therefore raises this error (it can be relaxed explicitly).
+    """
+
+
+class PreferenceError(ReproError):
+    """Base class for preference-model errors."""
+
+
+class UnknownPreferenceError(PreferenceError, KeyError):
+    """A preference probability was requested for an undefined value pair."""
+
+    def __init__(self, dimension: int, a: object, b: object) -> None:
+        super().__init__(
+            f"no preference defined between {a!r} and {b!r} "
+            f"on dimension {dimension} (and no default policy set)"
+        )
+        self.dimension = dimension
+        self.a = a
+        self.b = b
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message readable.
+        return self.args[0]
+
+
+class InvalidProbabilityError(PreferenceError, ValueError):
+    """A probability is outside [0, 1] or a pair sums to more than 1."""
+
+
+class ComputationBudgetError(ReproError):
+    """An exact computation would exceed its configured budget.
+
+    The deterministic algorithm is exponential in the number of objects
+    (the problem is #P-complete, Theorem 1), so the engine refuses to
+    enumerate beyond a configurable number of objects / inclusion-exclusion
+    terms instead of hanging.  Callers should fall back to sampling.
+    """
+
+
+class EstimationError(ReproError):
+    """Invalid Monte-Carlo parameters (epsilon, delta, sample size)."""
+
+
+class ExperimentError(ReproError):
+    """A benchmark-harness experiment is misconfigured or unknown."""

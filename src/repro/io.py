@@ -1,0 +1,225 @@
+"""File persistence for datasets and preference models.
+
+Two interchange formats:
+
+* **JSON** — the canonical lossless format.  ``save_dataset`` /
+  ``load_dataset`` and ``save_preferences`` / ``load_preferences`` write
+  and read the ``to_dict`` payloads of the model classes; procedural
+  preference models (``HashedPreferenceModel``,
+  ``LazyRankedPreferenceModel``) round-trip through their recorded
+  parameters plus any explicit overrides.
+
+* **CSV** — the format a user most likely already has their data in.
+  Datasets are one object per row; preference tables are rows of
+  ``dimension, a, b, prob_a_over_b[, prob_b_over_a]``.
+
+Values are read back as strings in CSV (CSV has no types); JSON preserves
+strings/numbers/booleans.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Sequence
+
+from repro.core.objects import Dataset
+from repro.core.preferences import PreferenceModel
+from repro.data.procedural import HashedPreferenceModel, LazyRankedPreferenceModel
+from repro.errors import DatasetError, PreferenceError
+
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "dataset_to_csv",
+    "dataset_from_csv",
+    "save_preferences",
+    "load_preferences",
+    "preferences_to_csv",
+    "preferences_from_csv",
+    "preference_model_from_dict",
+]
+
+
+# ----------------------------------------------------------------------
+# Datasets
+# ----------------------------------------------------------------------
+def save_dataset(dataset: Dataset, path: str | Path) -> None:
+    """Write a dataset as JSON (lossless for JSON-serialisable values)."""
+    Path(path).write_text(json.dumps(dataset.to_dict(), indent=2))
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"{path} is not valid JSON: {exc}") from exc
+    return Dataset.from_dict(payload)
+
+
+def dataset_to_csv(
+    dataset: Dataset, path: str | Path, *, include_labels: bool = True
+) -> None:
+    """Write objects as CSV rows; optional leading ``label`` column."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        columns = [f"dim{j}" for j in range(dataset.dimensionality)]
+        if include_labels:
+            writer.writerow(["label", *columns])
+            for label, obj in zip(dataset.labels, dataset):
+                writer.writerow([label, *obj])
+        else:
+            writer.writerow(columns)
+            for obj in dataset:
+                writer.writerow(list(obj))
+
+
+def dataset_from_csv(
+    path: str | Path,
+    *,
+    label_column: str | None = "label",
+    allow_duplicates: bool = False,
+) -> Dataset:
+    """Read a dataset from CSV (header required; values become strings).
+
+    ``label_column`` names the column holding object labels; pass ``None``
+    when every column is an attribute.  Duplicate rows are rejected unless
+    ``allow_duplicates`` (pair with :meth:`Dataset.deduplicated`).
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DatasetError(f"{path} is empty") from None
+        rows = [row for row in reader if row]
+    if not rows:
+        raise DatasetError(f"{path} holds a header but no objects")
+    label_index: int | None = None
+    if label_column is not None and label_column in header:
+        label_index = header.index(label_column)
+    objects: List[Sequence[str]] = []
+    labels: List[str] = []
+    for line, row in enumerate(rows, start=2):
+        if len(row) != len(header):
+            raise DatasetError(
+                f"{path}:{line}: expected {len(header)} columns, got {len(row)}"
+            )
+        if label_index is None:
+            objects.append(tuple(row))
+        else:
+            labels.append(row[label_index])
+            objects.append(
+                tuple(v for i, v in enumerate(row) if i != label_index)
+            )
+    return Dataset(
+        objects,
+        labels=labels if label_index is not None else None,
+        allow_duplicates=allow_duplicates,
+    )
+
+
+# ----------------------------------------------------------------------
+# Preference models
+# ----------------------------------------------------------------------
+def preference_model_from_dict(payload: dict) -> PreferenceModel:
+    """Rebuild any preference model (plain or procedural) from its dict.
+
+    Dispatches on the optional ``procedural`` tag that the procedural
+    models embed in their :meth:`to_dict` payloads; explicit pair
+    overrides are restored in all cases.
+    """
+    procedural = payload.get("procedural")
+    if procedural is None:
+        return PreferenceModel.from_dict(payload)
+    kind = procedural.get("type")
+    if kind == "hashed":
+        model: PreferenceModel = HashedPreferenceModel(
+            payload["dimensionality"],
+            seed=procedural["seed"],
+            incomparable_fraction=procedural.get("incomparable_fraction", 0.0),
+        )
+    elif kind == "ranked":
+        model = LazyRankedPreferenceModel(
+            payload["dimensionality"],
+            procedural["strength"],
+            flip_dimensions=procedural.get("flip_dimensions", ()),
+        )
+    else:
+        raise PreferenceError(f"unknown procedural preference type {kind!r}")
+    for dimension, pairs in enumerate(payload.get("preferences", [])):
+        for a, b, forward, backward in pairs:
+            model.set_preference(dimension, a, b, forward, backward)
+    return model
+
+
+def save_preferences(model: PreferenceModel, path: str | Path) -> None:
+    """Write a preference model (plain or procedural) as JSON."""
+    Path(path).write_text(json.dumps(model.to_dict(), indent=2))
+
+
+def load_preferences(path: str | Path) -> PreferenceModel:
+    """Read a preference model written by :func:`save_preferences`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise PreferenceError(f"{path} is not valid JSON: {exc}") from exc
+    return preference_model_from_dict(payload)
+
+
+def preferences_to_csv(model: PreferenceModel, path: str | Path) -> None:
+    """Write explicitly-set pairs as CSV rows.
+
+    Only materialised pairs are written — a procedural fallback or
+    ``default`` policy cannot be represented in a pair table; use the
+    JSON format for those.
+    """
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["dimension", "a", "b", "prob_a_over_b", "prob_b_over_a"]
+        )
+        for dimension in range(model.dimensionality):
+            for pair in model.pairs(dimension):
+                writer.writerow(
+                    [dimension, pair.a, pair.b, pair.forward, pair.backward]
+                )
+
+
+def preferences_from_csv(
+    path: str | Path,
+    dimensionality: int,
+    *,
+    default: float | None = None,
+) -> PreferenceModel:
+    """Read a pair table written by :func:`preferences_to_csv`.
+
+    The ``prob_b_over_a`` column may be empty, meaning fully comparable
+    (``1 - prob_a_over_b``).  Values are strings, probabilities floats.
+    """
+    model = PreferenceModel(dimensionality, default=default)
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"dimension", "a", "b", "prob_a_over_b"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise PreferenceError(
+                f"{path}: expected columns {sorted(required)}, "
+                f"got {reader.fieldnames}"
+            )
+        for line, row in enumerate(reader, start=2):
+            try:
+                backward_text = (row.get("prob_b_over_a") or "").strip()
+                model.set_preference(
+                    int(row["dimension"]),
+                    row["a"],
+                    row["b"],
+                    float(row["prob_a_over_b"]),
+                    float(backward_text) if backward_text else None,
+                )
+            except (TypeError, ValueError) as exc:
+                if isinstance(exc, PreferenceError):
+                    raise
+                raise PreferenceError(f"{path}:{line}: {exc}") from exc
+    return model

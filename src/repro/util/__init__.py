@@ -1,0 +1,24 @@
+"""Small self-contained utilities shared across the library.
+
+Nothing in here knows about skylines or preferences; these are generic
+building blocks (seeded RNG handling, a union-find structure, subset
+iteration helpers, Zipf sampling, and a wall-clock timer).
+"""
+
+from repro.util.rng import as_rng, spawn_rngs
+from repro.util.subsets import iter_subsets, iter_subsets_of_size, popcount
+from repro.util.timer import Timer
+from repro.util.unionfind import UnionFind
+from repro.util.zipf import zipf_probabilities, zipf_sample
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "iter_subsets",
+    "iter_subsets_of_size",
+    "popcount",
+    "Timer",
+    "UnionFind",
+    "zipf_probabilities",
+    "zipf_sample",
+]

@@ -1,0 +1,53 @@
+"""Subset-enumeration helpers for inclusion-exclusion computations.
+
+The deterministic algorithm sums over all non-empty subsets of dominance
+events (Equation 4 of the paper).  The production path uses a DFS with
+shared state (see :mod:`repro.core.exact`); the generators here are the
+simple, obviously-correct enumerations used by naive reference
+implementations and tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["iter_subsets", "iter_subsets_of_size", "popcount"]
+
+
+def iter_subsets(
+    items: Sequence[T],
+    *,
+    include_empty: bool = False,
+    max_size: int | None = None,
+) -> Iterator[Tuple[T, ...]]:
+    """Yield subsets of ``items`` in order of increasing size.
+
+    Sizes run from 0 (if ``include_empty``) or 1 up to ``max_size``
+    (default: all of ``items``).  Within a size, subsets follow
+    :func:`itertools.combinations` order, so output is deterministic.
+    """
+    n = len(items)
+    if max_size is None:
+        max_size = n
+    if max_size < 0:
+        raise ValueError(f"max_size must be non-negative, got {max_size}")
+    start = 0 if include_empty else 1
+    for size in range(start, min(max_size, n) + 1):
+        yield from combinations(items, size)
+
+
+def iter_subsets_of_size(items: Sequence[T], size: int) -> Iterator[Tuple[T, ...]]:
+    """Yield all subsets of ``items`` with exactly ``size`` elements."""
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    return combinations(items, size)
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in ``mask`` (subset cardinality for bitmasks)."""
+    if mask < 0:
+        raise ValueError("popcount is defined for non-negative masks only")
+    return mask.bit_count()

@@ -1,0 +1,45 @@
+"""Wall-clock timing used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Usage::
+
+        with Timer() as timer:
+            run_algorithm()
+        print(timer.elapsed)
+
+    ``elapsed`` reads live while the block is still running, which lets
+    long experiments poll their own budget.
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._stop: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self._stop = None
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop = time.perf_counter()
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None and self._stop is None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed so far (live) or total (after exit)."""
+        if self._start is None:
+            return 0.0
+        end = self._stop if self._stop is not None else time.perf_counter()
+        return end - self._start

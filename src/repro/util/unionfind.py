@@ -1,0 +1,81 @@
+"""Disjoint-set (union-find) structure used by the partition preprocessor.
+
+The partition technique (Theorem 4 of the paper) groups objects that
+transitively share attribute values; that is exactly a connected-components
+computation, implemented here with the classic union-by-size + path
+compression structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Union-find over arbitrary hashable elements.
+
+    Elements are added lazily the first time they are seen by
+    :meth:`find` or :meth:`union`.
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def add(self, element: Hashable) -> None:
+        """Register ``element`` as its own singleton component (idempotent)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._size[element] = 1
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of ``element``'s component."""
+        self.add(element)
+        root = element
+        parent = self._parent
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression: point everything on the path at the root.
+        while parent[element] != root:
+            parent[element], element = root, parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the components of ``a`` and ``b``; return the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether ``a`` and ``b`` are in the same component."""
+        return self.find(a) == self.find(b)
+
+    def component_count(self) -> int:
+        """Number of distinct components among registered elements."""
+        return sum(1 for element in self._parent if self._parent[element] == element)
+
+    def components(self) -> List[List[Hashable]]:
+        """All components, each as a list in insertion order.
+
+        The order of components follows the first-seen order of their
+        representatives, which keeps downstream output deterministic.
+        """
+        groups: Dict[Hashable, List[Hashable]] = {}
+        for element in self._parent:
+            groups.setdefault(self.find(element), []).append(element)
+        return list(groups.values())

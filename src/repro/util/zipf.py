@@ -1,0 +1,40 @@
+"""Finite-support Zipf sampling for the block-zipf workload generator.
+
+The paper's synthetic "block-zipf" data draws attribute values inside each
+block from a Zipf distribution with parameter 1.  NumPy's ``Generator.zipf``
+samples the *infinite*-support Zipf law (undefined for exponent 1), so we
+implement the standard finite Zipfian distribution over ranks 1..V:
+
+    Pr(rank = r)  ∝  1 / r^theta
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import as_rng
+
+__all__ = ["zipf_probabilities", "zipf_sample"]
+
+
+def zipf_probabilities(support: int, theta: float = 1.0) -> np.ndarray:
+    """Probability vector of the finite Zipf law over ranks ``1..support``."""
+    if support <= 0:
+        raise ValueError(f"support must be positive, got {support}")
+    if theta < 0:
+        raise ValueError(f"theta must be non-negative, got {theta}")
+    ranks = np.arange(1, support + 1, dtype=np.float64)
+    weights = ranks**-theta
+    return weights / weights.sum()
+
+
+def zipf_sample(
+    support: int,
+    size: int | tuple,
+    theta: float = 1.0,
+    seed: object = None,
+) -> np.ndarray:
+    """Draw rank indices in ``0..support-1`` (0 is the most popular rank)."""
+    rng = as_rng(seed)
+    probabilities = zipf_probabilities(support, theta)
+    return rng.choice(support, size=size, p=probabilities)

@@ -1,0 +1,37 @@
+"""Shared fixtures: small spaces with known skyline probabilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objects import Dataset
+from repro.core.preferences import PreferenceModel
+from repro.data.examples import observation_example, running_example
+
+
+@pytest.fixture
+def observation():
+    """(dataset, preferences) of the paper's Figure 1 observation."""
+    return observation_example()
+
+
+@pytest.fixture
+def running():
+    """(dataset, preferences) of the paper's Figure 4 running example."""
+    return running_example()
+
+
+@pytest.fixture
+def tiny_space():
+    """A 2-d space with explicit, asymmetric, partly-incomparable prefs.
+
+    Three objects over values {a, b} x {x, y, z}; preferences chosen with
+    distinct probabilities so mistakes in orientation show up in numbers.
+    """
+    dataset = Dataset([("a", "x"), ("b", "y"), ("a", "z")], labels=["T", "U", "V"])
+    preferences = PreferenceModel(2)
+    preferences.set_preference(0, "a", "b", 0.7, 0.2)  # 0.1 incomparable
+    preferences.set_preference(1, "x", "y", 0.6, 0.4)
+    preferences.set_preference(1, "x", "z", 0.3, 0.5)  # 0.2 incomparable
+    preferences.set_preference(1, "y", "z", 0.8, 0.1)  # 0.1 incomparable
+    return dataset, preferences

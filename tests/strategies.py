@@ -1,0 +1,68 @@
+"""Shared hypothesis strategies for the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.preferences import PreferenceModel
+
+__all__ = ["uncertain_instance", "disjoint_instance"]
+
+
+@st.composite
+def uncertain_instance(draw):
+    """A small random space: target O, <=4 distinct competitors, random
+    (possibly incomparable, possibly certain) preferences on every pair."""
+    d = draw(st.integers(min_value=1, max_value=3))
+    n = draw(st.integers(min_value=1, max_value=4))
+    values = [[f"o{j}", f"a{j}", f"b{j}"] for j in range(d)]
+    target = tuple(f"o{j}" for j in range(d))
+    competitors = []
+    seen = {target}
+    for _ in range(n):
+        candidate = tuple(
+            values[j][draw(st.integers(min_value=0, max_value=2))]
+            for j in range(d)
+        )
+        if candidate not in seen:
+            seen.add(candidate)
+            competitors.append(candidate)
+    preferences = PreferenceModel(d)
+    grid = [0.0, 0.25, 0.5, 0.75, 1.0]
+    for j in range(d):
+        for x in range(3):
+            for y in range(x + 1, 3):
+                forward = draw(st.sampled_from(grid))
+                backward = draw(
+                    st.sampled_from([p for p in grid if p + forward <= 1.0])
+                )
+                preferences.set_preference(
+                    j, values[j][x], values[j][y], forward, backward
+                )
+    return preferences, competitors, target
+
+
+@st.composite
+def disjoint_instance(draw):
+    """Competitors whose differing values are pairwise disjoint, so the
+    independent-dominance assumption actually holds."""
+    d = draw(st.integers(min_value=1, max_value=3))
+    n = draw(st.integers(min_value=1, max_value=4))
+    target = tuple(f"o{j}" for j in range(d))
+    preferences = PreferenceModel(d)
+    competitors = []
+    grid = [0.0, 0.25, 0.5, 0.75, 1.0]
+    for i in range(n):
+        competitor = []
+        differs = False
+        for j in range(d):
+            if draw(st.booleans()) or (not differs and j == d - 1):
+                value = f"v{i}_{j}"  # value private to competitor i
+                forward = draw(st.sampled_from(grid))
+                preferences.set_preference(j, value, f"o{j}", forward)
+                competitor.append(value)
+                differs = True
+            else:
+                competitor.append(f"o{j}")
+        competitors.append(tuple(competitor))
+    return preferences, competitors, target

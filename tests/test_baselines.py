@@ -1,0 +1,162 @@
+"""Unit tests for the Sac baseline and the A1/A2 tentative approximations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import (
+    skyline_probability_a1,
+    skyline_probability_a2,
+    skyline_probability_sac,
+)
+from repro.core.exact import skyline_probability_det
+from repro.core.preferences import PreferenceModel
+from repro.data.examples import (
+    OBSERVATION_SAC_PROBABILITIES,
+    RUNNING_EXAMPLE_SAC_O,
+    observation_example,
+    running_example,
+)
+
+
+@pytest.fixture
+def running_parts():
+    dataset, preferences = running_example()
+    return preferences, list(dataset.others(0)), dataset[0]
+
+
+class TestSac:
+    def test_observation_example_bias(self):
+        dataset, preferences = observation_example()
+        values = [
+            skyline_probability_sac(preferences, dataset.others(i), dataset[i])
+            for i in range(3)
+        ]
+        assert values == pytest.approx(list(OBSERVATION_SAC_PROBABILITIES))
+
+    def test_running_example_value(self, running_parts):
+        preferences, competitors, target = running_parts
+        assert skyline_probability_sac(
+            preferences, competitors, target
+        ) == pytest.approx(RUNNING_EXAMPLE_SAC_O)
+
+    def test_exact_when_no_shared_values(self):
+        # three competitors with pairwise-disjoint differing values
+        model = PreferenceModel.equal(2)
+        target = ("o0", "o1")
+        competitors = [("a", "o1"), ("b", "x"), ("o0", "y")]
+        sac = skyline_probability_sac(model, competitors, target)
+        det = skyline_probability_det(model, competitors, target).probability
+        assert sac == pytest.approx(det)
+
+    def test_underestimates_with_shared_values(self, running_parts):
+        # Sac double-counts shared-value dominators, biasing sky downward
+        preferences, competitors, target = running_parts
+        sac = skyline_probability_sac(preferences, competitors, target)
+        det = skyline_probability_det(
+            preferences, competitors, target
+        ).probability
+        assert sac < det
+
+    def test_no_competitors(self):
+        assert skyline_probability_sac(PreferenceModel.equal(1), [], ("a",)) == 1.0
+
+    def test_certain_dominator_zero(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 1.0)
+        assert skyline_probability_sac(model, [("a",)], ("o",)) == 0.0
+
+
+class TestA1:
+    def test_full_top_equals_exact(self, running_parts):
+        preferences, competitors, target = running_parts
+        exact = skyline_probability_det(
+            preferences, competitors, target
+        ).probability
+        assert skyline_probability_a1(
+            preferences, competitors, target, top=len(competitors)
+        ) == pytest.approx(exact)
+
+    def test_top_zero_is_one(self, running_parts):
+        preferences, competitors, target = running_parts
+        assert skyline_probability_a1(preferences, competitors, target, 0) == 1.0
+
+    def test_never_underestimates(self, running_parts):
+        preferences, competitors, target = running_parts
+        exact = skyline_probability_det(
+            preferences, competitors, target
+        ).probability
+        for top in range(len(competitors) + 1):
+            value = skyline_probability_a1(
+                preferences, competitors, target, top
+            )
+            assert value >= exact - 1e-12
+
+    def test_monotone_decreasing_in_top(self, running_parts):
+        preferences, competitors, target = running_parts
+        values = [
+            skyline_probability_a1(preferences, competitors, target, top)
+            for top in range(len(competitors) + 1)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_picks_likeliest_dominators(self):
+        # top=1 must use the probability-0.9 dominator, not the 0.1 one
+        model = PreferenceModel(1)
+        model.set_preference(0, "strong", "o", 0.9)
+        model.set_preference(0, "weak", "o", 0.1)
+        value = skyline_probability_a1(
+            model, [("weak",), ("strong",)], ("o",), top=1
+        )
+        assert value == pytest.approx(0.1)  # 1 - 0.9
+
+    def test_negative_top_rejected(self, running_parts):
+        preferences, competitors, target = running_parts
+        with pytest.raises(ValueError):
+            skyline_probability_a1(preferences, competitors, target, -1)
+
+
+class TestA2:
+    def test_full_budget_equals_exact(self, running_parts):
+        preferences, competitors, target = running_parts
+        exact = skyline_probability_det(
+            preferences, competitors, target
+        ).probability
+        assert skyline_probability_a2(
+            preferences, competitors, target, max_terms=2**10
+        ) == pytest.approx(exact)
+
+    def test_zero_terms_returns_one(self, running_parts):
+        preferences, competitors, target = running_parts
+        assert skyline_probability_a2(preferences, competitors, target, 0) == 1.0
+
+    def test_partial_sums_can_leave_unit_interval(self):
+        # many overlapping dominators: truncating after the first layer
+        # yields 1 - sum(Pr(e_i)) << 0, reproducing Figure 6b's failure
+        model = PreferenceModel.equal(1)
+        competitors = [(f"v{i}",) for i in range(10)]
+        value = skyline_probability_a2(model, competitors, ("o",), max_terms=10)
+        assert value == pytest.approx(1.0 - 10 * 0.5)
+        assert value < 0.0
+
+    def test_duplicate_target_zero(self):
+        assert (
+            skyline_probability_a2(
+                PreferenceModel.equal(1), [("o",)], ("o",), 10
+            )
+            == 0.0
+        )
+
+    def test_negative_budget_rejected(self, running_parts):
+        preferences, competitors, target = running_parts
+        with pytest.raises(ValueError):
+            skyline_probability_a2(preferences, competitors, target, -5)
+
+    def test_term_order_is_by_size(self, running_parts):
+        # with exactly n terms the whole first layer (and nothing else)
+        # is consumed: value = 1 - T1
+        preferences, competitors, target = running_parts
+        value = skyline_probability_a2(
+            preferences, competitors, target, max_terms=len(competitors)
+        )
+        assert value == pytest.approx(1.0 - 3 / 2)

@@ -1,0 +1,140 @@
+"""Unit tests for the benchmark harness (registry, tables, archival)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    Experiment,
+    ExperimentTable,
+    all_experiments,
+    format_seconds,
+    get_experiment,
+    run_experiment,
+    time_call,
+)
+from repro.errors import ExperimentError
+
+
+class TestTimeCall:
+    def test_returns_result_and_elapsed(self):
+        result, elapsed = time_call(lambda x: x + 1, 41)
+        assert result == 42
+        assert elapsed >= 0.0
+
+    def test_kwargs_forwarded(self):
+        result, _ = time_call(lambda *, key: key, key="v")
+        assert result == "v"
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert format_seconds(5e-6) == "5.0us"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.25) == "250.00ms"
+
+    def test_seconds(self):
+        assert format_seconds(3.5) == "3.50s"
+
+
+class TestExperimentTable:
+    def _table(self):
+        table = ExperimentTable(
+            "demo", "Demo table", columns=("n", "seconds"),
+            paper_reference="Figure 0", expectation="nothing",
+        )
+        table.add_row(n=10, seconds=0.5)
+        table.add_row(n=20, seconds=1.25)
+        return table
+
+    def test_add_row_rejects_unknown_columns(self):
+        table = self._table()
+        with pytest.raises(ExperimentError):
+            table.add_row(bogus=1)
+
+    def test_column_accessor(self):
+        assert self._table().column("n") == [10, 20]
+
+    def test_column_unknown(self):
+        with pytest.raises(ExperimentError):
+            self._table().column("bogus")
+
+    def test_render_contains_everything(self):
+        rendered = self._table().render()
+        assert "Demo table" in rendered
+        assert "Figure 0" in rendered
+        assert "nothing" in rendered
+        assert "20" in rendered
+
+    def test_markdown_is_table(self):
+        markdown = self._table().to_markdown()
+        assert "| n | seconds |" in markdown
+        assert "|---|---|" in markdown
+
+    def test_to_dict_round_trips_through_json(self):
+        payload = json.loads(json.dumps(self._table().to_dict()))
+        assert payload["experiment_id"] == "demo"
+        assert payload["rows"][1]["n"] == 20
+
+    def test_missing_cells_render_blank(self):
+        table = ExperimentTable("x", "t", columns=("a", "b"))
+        table.add_row(a=1)
+        assert table.column("b") == [None]
+        assert table.render()  # must not raise
+
+    def test_float_formatting(self):
+        table = ExperimentTable("x", "t", columns=("v",))
+        table.add_row(v=1.23456e-7)
+        table.add_row(v=0.5)
+        table.add_row(v=0.0)
+        rendered = table.render()
+        assert "1.235e-07" in rendered
+        assert "0.5" in rendered
+
+
+class TestRegistry:
+    def test_all_experiments_nonempty_and_sorted(self):
+        experiments = all_experiments()
+        ids = [e.experiment_id for e in experiments]
+        assert ids == sorted(ids)
+        assert "fig9" in ids
+        assert "examples" in ids
+
+    def test_every_paper_figure_has_an_experiment(self):
+        ids = {e.experiment_id for e in all_experiments()}
+        required = {
+            "examples", "table1", "table2", "fig6", "fig9", "fig10",
+            "fig11", "fig12", "fig13", "fig14", "fig15", "thm1",
+        }
+        assert required <= ids
+
+    def test_get_experiment_unknown(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ExperimentError, match="unknown scale"):
+            get_experiment("examples").run("huge")
+
+    def test_experiment_metadata(self):
+        experiment = get_experiment("fig9")
+        assert isinstance(experiment, Experiment)
+        assert "Figure 9" in experiment.paper_reference
+
+
+class TestRunExperiment:
+    def test_archival(self, tmp_path):
+        tables = run_experiment("examples", "quick", output_directory=tmp_path)
+        assert tables
+        payload = json.loads((tmp_path / "examples.json").read_text())
+        assert payload["experiment_id"] == "examples"
+        assert payload["scale"] == "quick"
+        markdown = (tmp_path / "examples.md").read_text()
+        assert "| object |" in markdown
+
+    def test_no_archival_without_directory(self):
+        tables = run_experiment("examples", "quick")
+        assert tables[0].rows

@@ -1,0 +1,85 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.plot import ascii_chart, chart_from_table
+from repro.errors import ExperimentError
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            {"Det": [(10, 0.1), (20, 1.0), (30, 10.0)]},
+            width=40, height=8, title="growth",
+        )
+        assert "growth" in chart
+        assert "* Det" in chart
+        assert chart.count("\n") >= 8
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart(
+            {
+                "a": [(1, 1.0), (2, 2.0)],
+                "b": [(1, 2.0), (2, 4.0)],
+            }
+        )
+        assert "* a" in chart
+        assert "o b" in chart
+
+    def test_log_scale_drops_nonpositive(self):
+        chart = ascii_chart(
+            {"s": [(1, 0.0), (2, 1.0), (3, 100.0)]}, log_y=True
+        )
+        assert "[log y]" in chart
+
+    def test_all_points_dropped_raises(self):
+        with pytest.raises(ExperimentError):
+            ascii_chart({"s": [(1, 0.0)]}, log_y=True)
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            ascii_chart({})
+
+    def test_too_many_series(self):
+        series = {f"s{i}": [(1, 1.0)] for i in range(9)}
+        with pytest.raises(ExperimentError):
+            ascii_chart(series)
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart({"flat": [(1, 5.0), (2, 5.0)]})
+        assert "flat" in chart
+
+    def test_extremes_touch_borders(self):
+        chart = ascii_chart(
+            {"s": [(0, 0.0), (10, 10.0)]}, width=20, height=5
+        )
+        lines = chart.splitlines()
+        body = [line for line in lines if "|" in line]
+        assert "*" in body[0]  # max on the top row
+        assert "*" in body[-1]  # min on the bottom row
+
+
+class TestChartFromTable:
+    def _table(self):
+        table = ExperimentTable(
+            "fig9", "Det vs Det+", columns=("n", "Det (s)", "Det+ (s)")
+        )
+        table.add_row(**{"n": 10, "Det (s)": 0.001, "Det+ (s)": 0.001})
+        table.add_row(**{"n": 100, "Det (s)": "> budget", "Det+ (s)": 0.01})
+        table.add_row(**{"n": 1000, "Det (s)": "> budget", "Det+ (s)": 0.1})
+        return table
+
+    def test_skips_non_numeric_cells(self):
+        chart = chart_from_table(
+            self._table(), "n", ["Det (s)", "Det+ (s)"]
+        )
+        assert "Det (s)" in chart
+        assert "Det+ (s)" in chart
+        assert "budget" not in chart
+
+    def test_title_from_table(self):
+        chart = chart_from_table(self._table(), "n", ["Det+ (s)"])
+        assert "Det vs Det+" in chart

@@ -1,0 +1,60 @@
+"""Tests for the experiment harness's target-selection helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import _interesting_targets, _pick_targets
+from repro.core.engine import SkylineProbabilityEngine
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.examples import running_example
+from repro.data.procedural import HashedPreferenceModel
+
+
+class TestPickTargets:
+    def test_deterministic(self):
+        dataset = block_zipf_dataset(50, 3, seed=1)
+        assert _pick_targets(dataset, 5, seed=2) == _pick_targets(
+            dataset, 5, seed=2
+        )
+
+    def test_count_capped_by_dataset(self):
+        dataset, _ = running_example()
+        assert len(_pick_targets(dataset, 100, seed=0)) == 5
+
+    def test_indices_valid_and_unique(self):
+        dataset = block_zipf_dataset(30, 2, seed=3)
+        targets = _pick_targets(dataset, 10, seed=4)
+        assert len(set(targets)) == 10
+        assert all(0 <= index < 30 for index in targets)
+
+
+class TestInterestingTargets:
+    def test_prefers_nontrivial_probabilities(self):
+        dataset, preferences = running_example()
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        targets = _interesting_targets(engine, 3, seed=5)
+        probabilities = [
+            engine.skyline_probability(index, method="det+").probability
+            for index in targets
+        ]
+        # the running example's objects all sit in (0.02, 0.98)
+        assert all(0.02 <= p <= 0.98 for p in probabilities)
+
+    def test_falls_back_when_nothing_interesting(self):
+        # strongly dominated space: every object's sky is ~0 or 1
+        dataset = block_zipf_dataset(40, 2, seed=6)
+        engine = SkylineProbabilityEngine(
+            dataset, HashedPreferenceModel(2, seed=7)
+        )
+        targets = _interesting_targets(
+            engine, 4, seed=8, low=0.49999, high=0.50001
+        )
+        assert len(targets) == 4  # fallback filled the quota
+
+    def test_respects_count(self):
+        dataset = block_zipf_dataset(60, 3, seed=9)
+        engine = SkylineProbabilityEngine(
+            dataset, HashedPreferenceModel(3, seed=10)
+        )
+        assert len(_interesting_targets(engine, 5, seed=11)) == 5

@@ -1,0 +1,72 @@
+"""Unit tests for the Hoeffding bounds (Theorem 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    hoeffding_confidence,
+    hoeffding_error,
+    hoeffding_sample_size,
+)
+from repro.errors import EstimationError
+
+
+class TestSampleSize:
+    def test_paper_setting(self):
+        # epsilon = delta = 0.01 -> ceil(ln(200)/0.0002) = 26492 (paper, §6.2)
+        assert hoeffding_sample_size(0.01, 0.01) == 26492
+
+    def test_formula(self):
+        epsilon, delta = 0.05, 0.1
+        expected = math.ceil(math.log(2 / delta) / (2 * epsilon**2))
+        assert hoeffding_sample_size(epsilon, delta) == expected
+
+    def test_monotone_in_epsilon(self):
+        assert hoeffding_sample_size(0.01, 0.1) > hoeffding_sample_size(0.1, 0.1)
+
+    def test_monotone_in_delta(self):
+        assert hoeffding_sample_size(0.1, 0.01) > hoeffding_sample_size(0.1, 0.5)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_epsilon(self, epsilon):
+        with pytest.raises(EstimationError):
+            hoeffding_sample_size(epsilon, 0.1)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.1])
+    def test_invalid_delta(self, delta):
+        with pytest.raises(EstimationError):
+            hoeffding_sample_size(0.1, delta)
+
+
+class TestErrorAndConfidence:
+    def test_error_inverts_sample_size(self):
+        samples = hoeffding_sample_size(0.02, 0.05)
+        assert hoeffding_error(samples, 0.05) <= 0.02
+
+    def test_error_shrinks_with_samples(self):
+        assert hoeffding_error(10000, 0.01) < hoeffding_error(100, 0.01)
+
+    def test_invalid_samples(self):
+        with pytest.raises(EstimationError):
+            hoeffding_error(0, 0.1)
+
+    def test_confidence_increases_with_samples(self):
+        assert hoeffding_confidence(10000, 0.02) > hoeffding_confidence(
+            100, 0.02
+        )
+
+    def test_confidence_at_theorem_size(self):
+        samples = hoeffding_sample_size(0.01, 0.01)
+        assert hoeffding_confidence(samples, 0.01) >= 0.99
+
+    def test_confidence_floor_zero(self):
+        assert hoeffding_confidence(1, 0.001) >= 0.0
+
+    def test_invalid_confidence_inputs(self):
+        with pytest.raises(EstimationError):
+            hoeffding_confidence(-1, 0.1)
+        with pytest.raises(EstimationError):
+            hoeffding_confidence(10, 0.0)

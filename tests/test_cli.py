@@ -1,0 +1,48 @@
+"""Tests for the `python -m repro.bench` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+        assert "examples" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["examples", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Paper worked examples" in out
+        assert "finished in" in out
+
+    def test_run_multiple_experiments(self, capsys):
+        assert main(["examples", "thm1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "### examples" in out
+        assert "### thm1" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_archival_output(self, tmp_path, capsys):
+        assert main(["examples", "--quick", "--out", str(tmp_path)]) == 0
+        payload = json.loads((tmp_path / "examples.json").read_text())
+        assert payload["tables"][0]["rows"]
+
+    def test_requires_arguments(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_chart_flag(self, capsys):
+        assert main(["fig9", "--quick", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "[log y]" in out  # an ASCII chart was rendered
+        assert "Det+ (s)" in out

@@ -1,0 +1,68 @@
+"""Concurrency smoke tests: read-only engine use across threads."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.engine import SkylineProbabilityEngine
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.procedural import HashedPreferenceModel
+
+
+@pytest.fixture(scope="module")
+def engine():
+    dataset = block_zipf_dataset(80, 3, seed=60)
+    return SkylineProbabilityEngine(dataset, HashedPreferenceModel(3, seed=61))
+
+
+class TestThreadedQueries:
+    def test_parallel_exact_queries_match_serial(self, engine):
+        indices = list(range(len(engine.dataset)))
+        serial = [
+            engine.skyline_probability(index, method="det+").probability
+            for index in indices
+        ]
+        engine.clear_cache()
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            parallel = list(
+                pool.map(
+                    lambda index: engine.skyline_probability(
+                        index, method="det+"
+                    ).probability,
+                    indices,
+                )
+            )
+        assert parallel == pytest.approx(serial)
+
+    def test_parallel_sampling_is_well_formed(self, engine):
+        def sample(index):
+            return engine.skyline_probability(
+                index, method="sam", samples=500, seed=index
+            ).probability
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            estimates = list(pool.map(sample, range(20)))
+        assert all(0.0 <= estimate <= 1.0 for estimate in estimates)
+
+    def test_mixed_methods_in_flight(self, engine):
+        def query(task):
+            index, method = task
+            return engine.skyline_probability(
+                index, method=method, samples=300, seed=1
+            ).probability
+
+        tasks = [
+            (index, method)
+            for index in range(10)
+            for method in ("det+", "sam+", "auto")
+        ]
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(pool.map(query, tasks))
+        assert len(results) == len(tasks)
+        # exact det+/auto pairs must agree per index
+        for index in range(10):
+            detplus = results[tasks.index((index, "det+"))]
+            auto = results[tasks.index((index, "auto"))]
+            assert detplus == pytest.approx(auto)

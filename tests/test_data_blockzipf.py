@@ -1,0 +1,89 @@
+"""Unit tests for the block-zipf workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.preprocess import partition
+from repro.data.blockzipf import block_zipf_dataset, default_block_count
+from repro.errors import DatasetError
+
+
+def _block_of(value: str) -> str:
+    return value.split("_")[0]
+
+
+class TestDefaultBlockCount:
+    def test_small_n(self):
+        assert default_block_count(1) == 1
+        assert default_block_count(7) == 1
+
+    def test_scaling(self):
+        assert default_block_count(80) == 10
+        assert default_block_count(10000) == 1250
+
+
+class TestBlockZipfDataset:
+    def test_shape(self):
+        dataset = block_zipf_dataset(50, 3, seed=0)
+        assert dataset.cardinality == 50
+        assert dataset.dimensionality == 3
+
+    def test_objects_distinct(self):
+        dataset = block_zipf_dataset(300, 4, seed=1)
+        assert len(set(dataset.objects)) == 300
+
+    def test_deterministic(self):
+        assert block_zipf_dataset(40, 2, seed=2) == block_zipf_dataset(
+            40, 2, seed=2
+        )
+
+    def test_block_consistency_within_object(self):
+        # an object's values all come from the same block's domains
+        dataset = block_zipf_dataset(100, 3, seed=3)
+        for obj in dataset:
+            blocks = {_block_of(value) for value in obj}
+            assert len(blocks) == 1
+
+    def test_blocks_are_value_disjoint(self):
+        dataset = block_zipf_dataset(100, 2, blocks=5, seed=4)
+        for dimension in range(2):
+            values = dataset.values_on(dimension)
+            # values carry their block tag: cross-block equality impossible
+            assert len(values) == len({(v, _block_of(v)) for v in values})
+
+    def test_partition_never_crosses_blocks(self):
+        dataset = block_zipf_dataset(120, 3, blocks=10, seed=5)
+        groups = partition(list(dataset.others(0)), dataset[0])
+        competitors = dataset.others(0)
+        for group in groups:
+            blocks = {_block_of(competitors[i][0]) for i in group}
+            assert len(blocks) == 1
+
+    def test_zipf_skew_on_marginals(self):
+        dataset = block_zipf_dataset(
+            500, 3, blocks=1, values_per_block=10, seed=7
+        )
+        counts: dict = {}
+        for obj in dataset:
+            counts[obj[0]] = counts.get(obj[0], 0) + 1
+        ordered = [counts.get(f"b000_d0_v{r:04d}", 0) for r in range(10)]
+        # rank 0 must be clearly more popular than rank 9
+        assert ordered[0] > ordered[9]
+
+    def test_capacity_guard(self):
+        with pytest.raises(DatasetError):
+            block_zipf_dataset(200, 1, blocks=1, values_per_block=10, seed=8)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            block_zipf_dataset(0, 2)
+        with pytest.raises(DatasetError):
+            block_zipf_dataset(5, 0)
+        with pytest.raises(DatasetError):
+            block_zipf_dataset(5, 2, blocks=0)
+
+    def test_explicit_block_count_respected(self):
+        dataset = block_zipf_dataset(60, 2, blocks=3, seed=9)
+        blocks = {_block_of(obj[0]) for obj in dataset}
+        assert len(blocks) <= 3

@@ -1,0 +1,64 @@
+"""Unit tests for the canonical worked-example fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.examples import (
+    OBSERVATION_SAC_PROBABILITIES,
+    OBSERVATION_SKYLINE_PROBABILITIES,
+    RUNNING_EXAMPLE_LAYER_SUMS,
+    RUNNING_EXAMPLE_SAC_O,
+    RUNNING_EXAMPLE_SKY_O,
+    observation_example,
+    running_example,
+)
+
+
+class TestObservationFixture:
+    def test_shape(self):
+        dataset, preferences = observation_example()
+        assert dataset.cardinality == 3
+        assert dataset.dimensionality == 2
+        assert dataset.labels == ("P1", "P2", "P3")
+        assert preferences.default == 0.5
+
+    def test_value_sharing_structure(self):
+        dataset, _ = observation_example()
+        p1, p2, p3 = dataset
+        assert p2[0] == p3[0]  # P2 and P3 share 't'
+        assert not set(p1) & set(p3)  # P1 and P3 share nothing
+
+    def test_constants_are_consistent(self):
+        assert OBSERVATION_SKYLINE_PROBABILITIES == (0.5, 0.25, 0.5)
+        assert OBSERVATION_SAC_PROBABILITIES == (0.375, 0.25, 0.375)
+
+
+class TestRunningFixture:
+    def test_shape(self):
+        dataset, _ = running_example()
+        assert dataset.cardinality == 5
+        assert dataset.labels == ("O", "Q1", "Q2", "Q3", "Q4")
+
+    def test_documented_sharing_structure(self):
+        dataset, _ = running_example()
+        o, q1, q2, q3, q4 = dataset
+        assert q1[0] == q2[0]  # Q1 and Q2 share x1
+        assert q1[1] == q4[1]  # Q1 and Q4 share y1
+        assert not set(q3) & (set(q1) | set(q2) | set(q4) | set(o))
+
+    def test_constants(self):
+        assert RUNNING_EXAMPLE_SKY_O == pytest.approx(3 / 16)
+        assert RUNNING_EXAMPLE_SAC_O == pytest.approx(9 / 64)
+        assert RUNNING_EXAMPLE_LAYER_SUMS == (
+            pytest.approx(1.5),
+            pytest.approx(17 / 16),
+            pytest.approx(7 / 16),
+            pytest.approx(1 / 16),
+        )
+
+    def test_fresh_objects_each_call(self):
+        a, _ = running_example()
+        b, _ = running_example()
+        assert a == b
+        assert a is not b

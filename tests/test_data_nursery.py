@@ -1,0 +1,116 @@
+"""Unit tests for the Nursery data set reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.nursery import (
+    NURSERY_ATTRIBUTES,
+    nursery_dataset,
+    nursery_preferences,
+)
+from repro.errors import DatasetError
+
+
+class TestNurseryDataset:
+    def test_full_cardinality_matches_uci(self):
+        dataset = nursery_dataset()
+        assert dataset.cardinality == 12960
+        assert dataset.dimensionality == 8
+
+    def test_cardinality_is_domain_product(self):
+        expected = 1
+        for _, values in NURSERY_ATTRIBUTES:
+            expected *= len(values)
+        assert expected == 12960
+
+    def test_values_match_domains(self):
+        dataset = nursery_dataset()
+        for dimension, (_, values) in enumerate(NURSERY_ATTRIBUTES):
+            assert dataset.values_on(dimension) == set(values)
+
+    def test_no_duplicates(self):
+        dataset = nursery_dataset()
+        assert len(set(dataset.objects)) == 12960
+
+    def test_first_row_is_all_best(self):
+        dataset = nursery_dataset()
+        assert dataset[0] == tuple(values[0] for _, values in NURSERY_ATTRIBUTES)
+
+    def test_projection_by_index(self):
+        dataset = nursery_dataset([0, 1, 2, 3])
+        assert dataset.dimensionality == 4
+        assert dataset.cardinality == 3 * 5 * 4 * 4  # 240, paper's d=4 view
+
+    def test_projection_by_name(self):
+        dataset = nursery_dataset(["health", "finance"])
+        assert dataset.cardinality == 3 * 2
+        assert dataset.values_on(0) == {"recommended", "priority", "not_recom"}
+
+    def test_unknown_attribute(self):
+        with pytest.raises(DatasetError):
+            nursery_dataset(["grades"])
+
+    def test_index_out_of_range(self):
+        with pytest.raises(DatasetError):
+            nursery_dataset([9])
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(DatasetError):
+            nursery_dataset([0, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            nursery_dataset([])
+
+
+class TestNurseryPreferences:
+    def test_random_mode_covers_all_pairs(self):
+        model = nursery_preferences(seed=0)
+        assert model.dimensionality == 8
+        for dimension, (_, values) in enumerate(NURSERY_ATTRIBUTES):
+            assert model.has_preference(dimension, values[0], values[1])
+
+    def test_random_mode_deterministic(self):
+        assert nursery_preferences(seed=1) == nursery_preferences(seed=1)
+
+    def test_ordinal_mode_prefers_better_values(self):
+        model = nursery_preferences(mode="ordinal", strength=0.8)
+        # 'proper' is documented as better than 'very_crit' on has_nurs
+        assert model.prob_prefers(1, "proper", "very_crit") == 0.8
+
+    def test_ordinal_respects_projection(self):
+        model = nursery_preferences(["health"], mode="ordinal", strength=0.9)
+        assert model.dimensionality == 1
+        assert model.prob_prefers(0, "recommended", "not_recom") == 0.9
+
+    def test_unknown_mode(self):
+        with pytest.raises(DatasetError):
+            nursery_preferences(mode="psychic")
+
+    def test_projected_random_model_fits_projected_dataset(self):
+        from repro.core.engine import SkylineProbabilityEngine
+
+        dims = [0, 5]  # parents x finance: 6 objects
+        dataset = nursery_dataset(dims)
+        model = nursery_preferences(dims, seed=2)
+        engine = SkylineProbabilityEngine(dataset, model)
+        report = engine.skyline_probability(0, method="det")
+        naive = engine.skyline_probability(0, method="naive").probability
+        assert report.probability == pytest.approx(naive)
+
+
+class TestNurseryAbsorptionStructure:
+    def test_absorption_collapses_to_single_difference_objects(self):
+        # full factorial: every competitor is absorbed by a single-dim
+        # variant, leaving sum(|domain| - 1) survivors
+        from repro.core.preprocess import preprocess
+
+        dims = [0, 4, 5]  # 3 * 3 * 2 = 18 objects
+        dataset = nursery_dataset(dims)
+        prep = preprocess(list(dataset.others(0)), dataset[0])
+        expected_survivors = (3 - 1) + (3 - 1) + (2 - 1)
+        assert prep.kept_count == expected_survivors
+        # ... and they partition into singletons
+        assert prep.largest_partition == 1
+        assert len(prep.partitions) == expected_survivors

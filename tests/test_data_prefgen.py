@@ -1,0 +1,142 @@
+"""Unit tests for the preference generators."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.objects import Dataset
+from repro.data.prefgen import (
+    anti_correlated_preferences,
+    correlated_preferences,
+    equal_preferences,
+    ordered_values,
+    random_preferences,
+    ranked_preferences,
+)
+from repro.data.uniform import uniform_dataset
+from repro.errors import InvalidProbabilityError
+
+
+@pytest.fixture
+def dataset():
+    return uniform_dataset(30, 3, values_per_dimension=5, seed=0)
+
+
+class TestOrderedValues:
+    def test_rank_order_for_generated_values(self, dataset):
+        for values in ordered_values(dataset):
+            assert values == sorted(values)
+
+    def test_covers_all_dimensions(self, dataset):
+        assert len(ordered_values(dataset)) == 3
+
+
+class TestEqualPreferences:
+    def test_all_pairs_half(self, dataset):
+        model = equal_preferences(dataset)
+        assert model.prob_prefers(0, "anything", "else") == 0.5
+
+    def test_custom_probability(self, dataset):
+        model = equal_preferences(dataset, 0.3)
+        assert model.prob_prefers(1, "a", "b") == 0.3
+        assert model.prob_incomparable(1, "a", "b") == pytest.approx(0.4)
+
+
+class TestRandomPreferences:
+    def test_covers_every_cooccurring_pair(self, dataset):
+        model = random_preferences(dataset, seed=1)
+        for dimension, values in enumerate(ordered_values(dataset)):
+            for a, b in combinations(values, 2):
+                assert model.has_preference(dimension, a, b)
+
+    def test_fully_comparable_by_default(self, dataset):
+        model = random_preferences(dataset, seed=2)
+        for dimension in range(3):
+            for pair in model.pairs(dimension):
+                assert pair.incomparable == pytest.approx(0.0, abs=1e-12)
+
+    def test_incomparable_fraction(self, dataset):
+        model = random_preferences(dataset, seed=3, incomparable_fraction=0.5)
+        slacks = [
+            pair.incomparable
+            for dimension in range(3)
+            for pair in model.pairs(dimension)
+        ]
+        assert max(slacks) > 0.0
+        assert max(slacks) <= 0.5 + 1e-12
+
+    def test_invalid_fraction(self, dataset):
+        with pytest.raises(InvalidProbabilityError):
+            random_preferences(dataset, incomparable_fraction=1.5)
+
+    def test_deterministic(self, dataset):
+        assert random_preferences(dataset, seed=4) == random_preferences(
+            dataset, seed=4
+        )
+
+    def test_seeds_differ(self, dataset):
+        assert random_preferences(dataset, seed=5) != random_preferences(
+            dataset, seed=6
+        )
+
+
+class TestRankedPreferences:
+    def test_rank_direction(self):
+        model = ranked_preferences([["v0", "v1", "v2"]], 0.9)
+        assert model.prob_prefers(0, "v0", "v1") == 0.9
+        assert model.prob_prefers(0, "v2", "v0") == pytest.approx(0.1)
+
+    def test_flip_dimensions(self):
+        model = ranked_preferences(
+            [["a0", "a1"], ["b0", "b1"]], 0.8, flip_dimensions=(1,)
+        )
+        assert model.prob_prefers(0, "a0", "a1") == 0.8
+        assert model.prob_prefers(1, "b0", "b1") == pytest.approx(0.2)
+
+    def test_strength_one_deterministic(self):
+        model = ranked_preferences([["x", "y"]], 1.0)
+        assert model.is_deterministic()
+
+    def test_invalid_strength(self):
+        with pytest.raises(InvalidProbabilityError):
+            ranked_preferences([["a", "b"]], 1.2)
+
+
+class TestCorrelationModels:
+    def test_correlated_consistent_direction(self, dataset):
+        model = correlated_preferences(dataset, 0.9)
+        values = ordered_values(dataset)
+        for dimension in range(3):
+            best, worst = values[dimension][0], values[dimension][-1]
+            assert model.prob_prefers(dimension, best, worst) == 0.9
+
+    def test_anti_correlated_flips_odd_dimensions(self, dataset):
+        model = anti_correlated_preferences(dataset, 0.9)
+        values = ordered_values(dataset)
+        best0, worst0 = values[0][0], values[0][-1]
+        best1, worst1 = values[1][0], values[1][-1]
+        assert model.prob_prefers(0, best0, worst0) == 0.9
+        assert model.prob_prefers(1, best1, worst1) == pytest.approx(0.1)
+
+    def test_anti_correlation_enlarges_skyline(self):
+        # the paper's Figure 8 point, checked on exact probabilities
+        from repro.core.engine import SkylineProbabilityEngine
+
+        dataset = Dataset(
+            [
+                ("d0_v0000", "d1_v0000"),
+                ("d0_v0001", "d1_v0001"),
+                ("d0_v0002", "d1_v0002"),
+            ]
+        )
+        correlated = SkylineProbabilityEngine(
+            dataset, correlated_preferences(dataset, 0.95)
+        )
+        anti = SkylineProbabilityEngine(
+            dataset, anti_correlated_preferences(dataset, 0.95)
+        )
+        correlated_size = sum(correlated.skyline_probabilities(method="det"))
+        anti_size = sum(anti.skyline_probabilities(method="det"))
+        assert anti_size > correlated_size

@@ -1,0 +1,139 @@
+"""Unit tests for the procedural (lazily evaluated) preference models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objects import Dataset
+from repro.data.procedural import HashedPreferenceModel, LazyRankedPreferenceModel
+from repro.errors import InvalidProbabilityError
+
+
+class TestHashedPreferenceModel:
+    def test_deterministic(self):
+        a = HashedPreferenceModel(2, seed=1)
+        b = HashedPreferenceModel(2, seed=1)
+        assert a.prob_prefers(0, "x", "y") == b.prob_prefers(0, "x", "y")
+
+    def test_seed_changes_values(self):
+        a = HashedPreferenceModel(2, seed=1)
+        b = HashedPreferenceModel(2, seed=2)
+        assert a.prob_prefers(0, "x", "y") != b.prob_prefers(0, "x", "y")
+
+    def test_orientations_sum_to_one_without_slack(self):
+        model = HashedPreferenceModel(1, seed=3)
+        forward = model.prob_prefers(0, "a", "b")
+        backward = model.prob_prefers(0, "b", "a")
+        assert forward + backward == pytest.approx(1.0)
+
+    def test_orientations_sum_below_one_with_slack(self):
+        model = HashedPreferenceModel(1, seed=3, incomparable_fraction=0.4)
+        total = model.prob_prefers(0, "a", "b") + model.prob_prefers(0, "b", "a")
+        assert total < 1.0
+        assert model.prob_incomparable(0, "a", "b") == pytest.approx(1 - total)
+
+    def test_identical_values(self):
+        model = HashedPreferenceModel(1, seed=0)
+        assert model.prob_prefers(0, "a", "a") == 0.0
+        assert model.prob_weakly_prefers(0, "a", "a") == 1.0
+
+    def test_dimension_changes_value(self):
+        model = HashedPreferenceModel(2, seed=4)
+        assert model.prob_prefers(0, "a", "b") != model.prob_prefers(1, "a", "b")
+
+    def test_explicit_override_wins(self):
+        model = HashedPreferenceModel(1, seed=5)
+        model.set_preference(0, "a", "b", 0.75)
+        assert model.prob_prefers(0, "a", "b") == 0.75
+        assert model.prob_prefers(0, "b", "a") == pytest.approx(0.25)
+
+    def test_never_deterministic(self):
+        assert not HashedPreferenceModel(1, seed=6).is_deterministic()
+
+    def test_copy_preserves_everything(self):
+        model = HashedPreferenceModel(2, seed=7, incomparable_fraction=0.2)
+        model.set_preference(1, "a", "b", 0.5, 0.1)
+        clone = model.copy()
+        assert clone.seed == 7
+        assert clone.prob_prefers(0, "p", "q") == model.prob_prefers(0, "p", "q")
+        assert clone.prob_prefers(1, "a", "b") == 0.5
+
+    def test_to_dict_records_parameters(self):
+        payload = HashedPreferenceModel(1, seed=8).to_dict()
+        assert payload["procedural"]["type"] == "hashed"
+        assert payload["procedural"]["seed"] == 8
+
+    def test_invalid_fraction(self):
+        with pytest.raises(InvalidProbabilityError):
+            HashedPreferenceModel(1, incomparable_fraction=2.0)
+
+    def test_probabilities_roughly_uniform(self):
+        model = HashedPreferenceModel(1, seed=9)
+        draws = [
+            model.prob_prefers(0, f"u{i}", f"w{i}") for i in range(2000)
+        ]
+        mean = sum(draws) / len(draws)
+        assert mean == pytest.approx(0.5, abs=0.05)
+        assert min(draws) < 0.05
+        assert max(draws) > 0.95
+
+    def test_algorithms_accept_the_model(self):
+        from repro.core.engine import SkylineProbabilityEngine
+
+        dataset = Dataset([("a", "x"), ("b", "y"), ("a", "y")])
+        engine = SkylineProbabilityEngine(dataset, HashedPreferenceModel(2, seed=10))
+        exact = engine.skyline_probability(0, method="det").probability
+        naive = engine.skyline_probability(0, method="naive").probability
+        assert exact == pytest.approx(naive)
+
+
+class TestLazyRankedPreferenceModel:
+    def test_rank_direction(self):
+        model = LazyRankedPreferenceModel(1, 0.8)
+        assert model.prob_prefers(0, "a", "b") == 0.8
+        assert model.prob_prefers(0, "b", "a") == pytest.approx(0.2)
+
+    def test_flip_dimension(self):
+        model = LazyRankedPreferenceModel(2, 0.8, flip_dimensions=(1,))
+        assert model.prob_prefers(1, "a", "b") == pytest.approx(0.2)
+
+    def test_strength_property(self):
+        assert LazyRankedPreferenceModel(1, 0.7).strength == 0.7
+
+    def test_deterministic_at_extremes(self):
+        assert LazyRankedPreferenceModel(1, 1.0).is_deterministic()
+        assert not LazyRankedPreferenceModel(1, 0.6).is_deterministic()
+
+    def test_override_wins(self):
+        model = LazyRankedPreferenceModel(1, 0.8)
+        model.set_preference(0, "a", "b", 0.5, 0.5)
+        assert model.prob_prefers(0, "a", "b") == 0.5
+
+    def test_invalid_strength(self):
+        with pytest.raises(InvalidProbabilityError):
+            LazyRankedPreferenceModel(1, -0.1)
+
+    def test_copy(self):
+        model = LazyRankedPreferenceModel(2, 0.9, flip_dimensions=(0,))
+        clone = model.copy()
+        assert clone.prob_prefers(0, "a", "b") == model.prob_prefers(0, "a", "b")
+
+    def test_to_dict_records_parameters(self):
+        payload = LazyRankedPreferenceModel(1, 0.6, flip_dimensions=(0,)).to_dict()
+        assert payload["procedural"] == {
+            "type": "ranked",
+            "strength": 0.6,
+            "flip_dimensions": [0],
+        }
+
+    def test_matches_materialised_ranked_model(self):
+        from repro.data.prefgen import ranked_preferences
+
+        lazy = LazyRankedPreferenceModel(1, 0.85)
+        materialised = ranked_preferences([["v0", "v1", "v2"]], 0.85)
+        for a in ("v0", "v1", "v2"):
+            for b in ("v0", "v1", "v2"):
+                if a != b:
+                    assert lazy.prob_prefers(0, a, b) == pytest.approx(
+                        materialised.prob_prefers(0, a, b)
+                    )

@@ -1,0 +1,71 @@
+"""Unit tests for the uniform workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.uniform import domain, uniform_dataset, value_name
+from repro.errors import DatasetError
+
+
+class TestValueNames:
+    def test_zero_padding_sorts_by_rank(self):
+        names = [value_name(0, rank) for rank in (2, 10, 100, 1000)]
+        assert names == sorted(names)
+
+    def test_block_prefix(self):
+        assert value_name(1, 3, block=7).startswith("b007_")
+
+    def test_domain_order(self):
+        values = domain(2, 5)
+        assert len(values) == 5
+        assert values == sorted(values)
+
+    def test_domain_invalid_size(self):
+        with pytest.raises(DatasetError):
+            domain(0, 0)
+
+
+class TestUniformDataset:
+    def test_shape(self):
+        dataset = uniform_dataset(25, 3, seed=0)
+        assert dataset.cardinality == 25
+        assert dataset.dimensionality == 3
+
+    def test_objects_distinct(self):
+        dataset = uniform_dataset(200, 2, values_per_dimension=20, seed=1)
+        assert len(set(dataset.objects)) == 200
+
+    def test_values_come_from_domain(self):
+        dataset = uniform_dataset(14, 2, values_per_dimension=4, seed=2)
+        for dimension in range(2):
+            assert dataset.values_on(dimension) <= set(domain(dimension, 4))
+
+    def test_deterministic_with_seed(self):
+        assert uniform_dataset(10, 2, seed=3) == uniform_dataset(10, 2, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert uniform_dataset(10, 2, seed=4) != uniform_dataset(10, 2, seed=5)
+
+    def test_capacity_check(self):
+        with pytest.raises(DatasetError):
+            uniform_dataset(10, 1, values_per_dimension=3)
+
+    def test_exact_capacity_fill(self):
+        dataset = uniform_dataset(9, 2, values_per_dimension=3, seed=6)
+        assert dataset.cardinality == 9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            uniform_dataset(0, 2)
+        with pytest.raises(DatasetError):
+            uniform_dataset(5, 0)
+
+    def test_roughly_uniform_marginals(self):
+        dataset = uniform_dataset(90, 2, values_per_dimension=10, seed=7)
+        # with 90 draws over 10 uniform values every value should appear
+        assert len(dataset.values_on(0)) == 10
+        counts = {value: 0 for value in dataset.values_on(0)}
+        for obj in dataset:
+            counts[obj[0]] += 1
+        assert max(counts.values()) <= 4 * max(1, min(counts.values()))

@@ -1,0 +1,124 @@
+"""Unit tests for positive DNF formulas and model counting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity.dnf import PositiveDNF
+from repro.errors import ComputationBudgetError, ReproError
+
+
+class TestConstruction:
+    def test_basic(self):
+        formula = PositiveDNF(4, [(0, 2), (1, 3)])
+        assert formula.num_variables == 4
+        assert formula.num_clauses == 2
+
+    def test_duplicate_clauses_collapsed(self):
+        formula = PositiveDNF(3, [(0, 1), (1, 0), (2,)])
+        assert formula.num_clauses == 2
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ReproError):
+            PositiveDNF(3, [()])
+
+    def test_no_clauses_rejected(self):
+        with pytest.raises(ReproError):
+            PositiveDNF(3, [])
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(ReproError):
+            PositiveDNF(2, [(0, 5)])
+
+    def test_zero_variables_rejected(self):
+        with pytest.raises(ReproError):
+            PositiveDNF(0, [(0,)])
+
+    def test_equality_ignores_clause_order(self):
+        a = PositiveDNF(3, [(0,), (1, 2)])
+        b = PositiveDNF(3, [(1, 2), (0,)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_readable(self):
+        assert "x0" in repr(PositiveDNF(2, [(0,)]))
+
+
+class TestEvaluate:
+    def test_clause_semantics(self):
+        formula = PositiveDNF(3, [(0, 1)])
+        assert formula.evaluate([True, True, False])
+        assert not formula.evaluate([True, False, True])
+
+    def test_disjunction(self):
+        formula = PositiveDNF(3, [(0,), (2,)])
+        assert formula.evaluate([False, False, True])
+        assert not formula.evaluate([False, True, False])
+
+    def test_wrong_length(self):
+        with pytest.raises(ReproError):
+            PositiveDNF(2, [(0,)]).evaluate([True])
+
+
+class TestCounting:
+    def test_paper_example_formula(self):
+        # (x1 ∧ x3) ∨ (x2 ∧ x4) ∨ (x3 ∧ x4), 0-indexed
+        formula = PositiveDNF(4, [(0, 2), (1, 3), (2, 3)])
+        # verified independently: 8 of 16 assignments satisfy it
+        assert formula.count_satisfying() == 8
+
+    def test_single_full_clause(self):
+        formula = PositiveDNF(5, [tuple(range(5))])
+        assert formula.count_satisfying() == 1
+
+    def test_single_variable_clause(self):
+        formula = PositiveDNF(4, [(0,)])
+        assert formula.count_satisfying() == 8
+
+    def test_tautology_like_cover(self):
+        formula = PositiveDNF(1, [(0,)])
+        assert formula.count_satisfying() == 1
+
+    def test_counts_agree_brute_vs_inclusion_exclusion(self):
+        for seed in range(20):
+            formula = PositiveDNF.random(7, 6, seed=seed)
+            assert (
+                formula.count_satisfying()
+                == formula.count_satisfying_inclusion_exclusion()
+            )
+
+    def test_counting_matches_explicit_evaluation(self):
+        formula = PositiveDNF.random(6, 4, seed=99)
+        explicit = sum(
+            formula.evaluate([(mask >> v) & 1 == 1 for v in range(6)])
+            for mask in range(64)
+        )
+        assert formula.count_satisfying() == explicit
+
+    def test_brute_force_guard(self):
+        formula = PositiveDNF(30, [(0,)])
+        with pytest.raises(ComputationBudgetError):
+            formula.count_satisfying()
+
+    def test_inclusion_exclusion_guard(self):
+        clauses = [(i,) for i in range(26)] + [(0, 1)]
+        formula = PositiveDNF(26, clauses)
+        with pytest.raises(ComputationBudgetError):
+            formula.count_satisfying_inclusion_exclusion()
+
+
+class TestRandom:
+    def test_respects_clause_size_bounds(self):
+        formula = PositiveDNF.random(
+            8, 5, min_clause_size=2, max_clause_size=3, seed=0
+        )
+        assert all(2 <= len(clause) <= 3 for clause in formula.clauses)
+
+    def test_deterministic(self):
+        assert PositiveDNF.random(6, 4, seed=1) == PositiveDNF.random(6, 4, seed=1)
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ReproError):
+            PositiveDNF.random(4, 2, min_clause_size=5)
+        with pytest.raises(ReproError):
+            PositiveDNF.random(4, 0)

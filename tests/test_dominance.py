@@ -1,0 +1,143 @@
+"""Unit tests for the dominance algebra (Equations 1, 2, 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dominance import (
+    differing_dimensions,
+    dominance_factors,
+    dominance_probability,
+    dominates_under,
+    joint_dominance_probability,
+)
+from repro.core.preferences import PreferenceModel
+from repro.errors import DimensionalityError
+
+
+@pytest.fixture
+def prefs():
+    model = PreferenceModel(2)
+    model.set_preference(0, "a", "o0", 0.3)
+    model.set_preference(0, "b", "o0", 0.9)
+    model.set_preference(1, "x", "o1", 0.5, 0.25)
+    return model
+
+
+class TestDifferingDimensions:
+    def test_basic(self):
+        assert differing_dimensions(("a", "x"), ("a", "y")) == (1,)
+        assert differing_dimensions(("a", "x"), ("b", "y")) == (0, 1)
+        assert differing_dimensions(("a", "x"), ("a", "x")) == ()
+
+    def test_dimensionality_mismatch(self):
+        with pytest.raises(DimensionalityError):
+            differing_dimensions(("a",), ("a", "b"))
+
+
+class TestDominanceProbability:
+    def test_single_dimension_difference(self, prefs):
+        assert dominance_probability(prefs, ("a", "o1"), ("o0", "o1")) == 0.3
+
+    def test_equation_2_product(self, prefs):
+        # differs on both dimensions: 0.3 * 0.5
+        assert dominance_probability(
+            prefs, ("a", "x"), ("o0", "o1")
+        ) == pytest.approx(0.15)
+
+    def test_duplicate_convention(self, prefs):
+        # identical objects: vacuous product = 1 (guarded upstream)
+        assert dominance_probability(prefs, ("a", "x"), ("a", "x")) == 1.0
+
+    def test_zero_factor_short_circuits(self):
+        model = PreferenceModel(2)
+        model.set_preference(0, "a", "o0", 0.0)
+        # dimension-1 preference is undefined, but the zero on dim 0 must
+        # short-circuit before it is ever looked up
+        assert dominance_probability(model, ("a", "x"), ("o0", "o1")) == 0.0
+
+    def test_incomparability_blocks_dominance(self, prefs):
+        # Pr(x < o1) = 0.5 even though Pr(o1 < x) = 0.25 (0.25 incomparable)
+        assert dominance_probability(prefs, ("o0", "x"), ("o0", "o1")) == 0.5
+
+
+class TestDominanceFactors:
+    def test_factors_skip_equal_dimensions(self, prefs):
+        factors = dominance_factors(prefs, ("a", "o1"), ("o0", "o1"))
+        assert factors == [(0, "a", 0.3)]
+
+    def test_factor_order_follows_dimensions(self, prefs):
+        factors = dominance_factors(prefs, ("b", "x"), ("o0", "o1"))
+        assert [f[0] for f in factors] == [0, 1]
+        assert factors[0][2] == 0.9
+        assert factors[1][2] == 0.5
+
+    def test_empty_for_duplicate(self, prefs):
+        assert dominance_factors(prefs, ("a", "x"), ("a", "x")) == []
+
+
+class TestJointDominanceProbability:
+    def test_shared_value_counted_once(self, prefs):
+        # both competitors carry 'a' on dimension 0: factor 0.3 appears once
+        joint = joint_dominance_probability(
+            prefs, [("a", "o1"), ("a", "x")], ("o0", "o1")
+        )
+        assert joint == pytest.approx(0.3 * 0.5)
+
+    def test_disjoint_values_multiply(self, prefs):
+        joint = joint_dominance_probability(
+            prefs, [("a", "o1"), ("b", "o1")], ("o0", "o1")
+        )
+        assert joint == pytest.approx(0.3 * 0.9)
+
+    def test_degenerates_to_equation_2_for_single_event(self, prefs):
+        single = joint_dominance_probability(prefs, [("b", "x")], ("o0", "o1"))
+        assert single == dominance_probability(prefs, ("b", "x"), ("o0", "o1"))
+
+    def test_empty_group(self, prefs):
+        assert joint_dominance_probability(prefs, [], ("o0", "o1")) == 1.0
+
+    def test_zero_factor_short_circuits(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 0.0)
+        assert joint_dominance_probability(model, [("a",)], ("o",)) == 0.0
+
+    def test_running_example_joint(self):
+        # paper: Pr(e1 ∩ e2 ∩ e3) = 1/16 in the Figure 4 layout
+        from repro.data.examples import running_example
+
+        dataset, preferences = running_example()
+        joint = joint_dominance_probability(
+            preferences, [dataset[1], dataset[2], dataset[3]], dataset[0]
+        )
+        assert joint == pytest.approx(1 / 16)
+
+
+class TestDominatesUnder:
+    def prefers_all(self, dimension, a, b):
+        return True
+
+    def prefers_none(self, dimension, a, b):
+        return False
+
+    def test_requires_strict_difference(self):
+        assert not dominates_under(self.prefers_all, ("a", "x"), ("a", "x"))
+
+    def test_all_preferred(self):
+        assert dominates_under(self.prefers_all, ("a", "x"), ("b", "y"))
+
+    def test_one_blocked_dimension_fails(self):
+        def prefers(dimension, a, b):
+            return dimension == 0
+
+        assert not dominates_under(prefers, ("a", "x"), ("b", "y"))
+
+    def test_equal_dimensions_are_skipped(self):
+        assert dominates_under(self.prefers_all, ("a", "x"), ("a", "y"))
+
+    def test_none_preferred(self):
+        assert not dominates_under(self.prefers_none, ("a", "x"), ("b", "y"))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionalityError):
+            dominates_under(self.prefers_all, ("a",), ("b", "c"))

@@ -1,0 +1,109 @@
+"""Edge-case tests cutting across modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SkylineProbabilityEngine
+from repro.core.exact import (
+    inclusion_exclusion_layer_sums,
+    skyline_probability_det,
+)
+from repro.core.objects import Dataset
+from repro.core.preferences import PreferenceModel
+from repro.io import dataset_from_csv
+
+
+class TestLayerSumArithmetic:
+    def test_shared_value_second_layer(self):
+        # two competitors sharing value 'a' on dim 0:
+        # T2 = Pr(e1 ∩ e2) = p(a) * p(y)  (the shared factor counts once)
+        model = PreferenceModel(2)
+        model.set_preference(0, "a", "o0", 0.4)
+        model.set_preference(1, "y", "o1", 0.3)
+        competitors = [("a", "o1"), ("a", "y")]
+        sums = inclusion_exclusion_layer_sums(
+            model, competitors, ("o0", "o1"), 2
+        )
+        assert sums[0] == pytest.approx(0.4 + 0.4 * 0.3)
+        assert sums[1] == pytest.approx(0.4 * 0.3)
+
+    def test_disjoint_second_layer_multiplies(self):
+        model = PreferenceModel(2)
+        model.set_preference(0, "a", "o0", 0.4)
+        model.set_preference(1, "y", "o1", 0.3)
+        competitors = [("a", "o1"), ("o0", "y")]
+        sums = inclusion_exclusion_layer_sums(
+            model, competitors, ("o0", "o1"), 2
+        )
+        assert sums[1] == pytest.approx(0.4 * 0.3)
+        sky = skyline_probability_det(
+            model, competitors, ("o0", "o1")
+        ).probability
+        assert sky == pytest.approx((1 - 0.4) * (1 - 0.3))
+
+
+class TestEngineEdgeCases:
+    def test_single_object_dataset(self):
+        dataset = Dataset([("only",)])
+        engine = SkylineProbabilityEngine(dataset, PreferenceModel.equal(1))
+        report = engine.skyline_probability(0)
+        assert report.probability == 1.0
+
+    def test_external_object_identical_to_member(self):
+        dataset = Dataset([("a",), ("b",)])
+        engine = SkylineProbabilityEngine(dataset, PreferenceModel.equal(1))
+        by_index = engine.skyline_probability(0, method="det").probability
+        by_value = engine.skyline_probability(("a",), method="det").probability
+        assert by_value == by_index
+
+    def test_probabilistic_skyline_with_sampling_options(self, running):
+        dataset, preferences = running
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        members = engine.probabilistic_skyline(
+            0.4, method="sam+", samples=20000, seed=3
+        )
+        assert members == [3]  # Q3 (value-disjoint) has sky = 7/16
+
+    def test_budget_error_message_suggests_alternatives(self):
+        # every competitor shares the value 's' on dimension 0: one
+        # 29-object partition, far beyond the 4-object exact budget
+        dataset = Dataset(
+            [("t0", "t1")] + [("s", f"u{i}") for i in range(29)]
+        )
+        preferences = PreferenceModel.equal(2)
+        engine = SkylineProbabilityEngine(
+            dataset, preferences, max_exact_objects=4
+        )
+        from repro.errors import ComputationBudgetError
+
+        with pytest.raises(ComputationBudgetError, match="sam"):
+            engine.skyline_probability(0, method="det+")
+
+
+class TestCsvLabelColumn:
+    def test_custom_label_column_name(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("name,screen,storage\nPro,large,128\nAir,large,64\n")
+        dataset = dataset_from_csv(path, label_column="name")
+        assert dataset.labels == ("Pro", "Air")
+        assert dataset.dimensionality == 2
+
+    def test_label_column_none_keeps_all_columns(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("name,screen\nPro,large\nAir,compact\n")
+        dataset = dataset_from_csv(path, label_column=None)
+        assert dataset.dimensionality == 2
+        assert ("Pro", "large") in dataset
+
+
+class TestLabelledQueries:
+    def test_threshold_classification_matches_skyline(self, observation):
+        from repro.core.operators import classify_against_threshold
+
+        dataset, preferences = observation
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        classification = classify_against_threshold(engine, 0.3, method="det")
+        assert classification.members == engine.probabilistic_skyline(
+            0.3, method="det"
+        )

@@ -1,0 +1,183 @@
+"""Unit tests for the SkylineProbabilityEngine facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import METHODS, SkylineProbabilityEngine, SkylineReport
+from repro.core.objects import Dataset
+from repro.core.preferences import PreferenceModel
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.examples import (
+    OBSERVATION_SKYLINE_PROBABILITIES,
+    RUNNING_EXAMPLE_SKY_O,
+    running_example,
+)
+from repro.data.procedural import HashedPreferenceModel
+from repro.errors import (
+    ComputationBudgetError,
+    DimensionalityError,
+    ReproError,
+)
+
+
+@pytest.fixture
+def engine(running):
+    dataset, preferences = running
+    return SkylineProbabilityEngine(dataset, preferences)
+
+
+class TestConstruction:
+    def test_dimensionality_mismatch(self):
+        dataset = Dataset([("a", "b")])
+        with pytest.raises(DimensionalityError):
+            SkylineProbabilityEngine(dataset, PreferenceModel.equal(3))
+
+    def test_properties(self, engine, running):
+        dataset, preferences = running
+        assert engine.dataset is dataset
+        assert engine.preferences is preferences
+
+
+class TestSingleObjectQuery:
+    @pytest.mark.parametrize("method", ["det", "det+", "naive", "auto"])
+    def test_exact_methods_agree(self, engine, method):
+        report = engine.skyline_probability(0, method=method)
+        assert report.probability == pytest.approx(RUNNING_EXAMPLE_SKY_O)
+        assert report.exact
+        assert report.method == method
+
+    @pytest.mark.parametrize("method", ["sam", "sam+"])
+    def test_sampling_methods_converge(self, engine, method):
+        report = engine.skyline_probability(
+            0, method=method, samples=30000, seed=1
+        )
+        assert report.probability == pytest.approx(RUNNING_EXAMPLE_SKY_O, abs=0.01)
+        assert not report.exact
+        assert report.samples == 30000
+
+    def test_unknown_method(self, engine):
+        with pytest.raises(ReproError, match="unknown method"):
+            engine.skyline_probability(0, method="oracle")
+
+    def test_target_by_object_inside_dataset(self, engine, running):
+        dataset, _ = running
+        by_index = engine.skyline_probability(0, method="det").probability
+        by_object = engine.skyline_probability(
+            dataset[0], method="det"
+        ).probability
+        assert by_object == by_index
+
+    def test_target_by_external_object(self, engine):
+        # an object outside the dataset competes against everything
+        report = engine.skyline_probability(("z0", "z1"), method="det")
+        # no preference defined between z-values and stored values ->
+        # default 0.5 applies (equal model), so some probability results
+        assert 0.0 <= report.probability <= 1.0
+
+    def test_external_target_dimensionality_checked(self, engine):
+        with pytest.raises(DimensionalityError):
+            engine.skyline_probability(("a",), method="det")
+
+    def test_preprocessing_attached_for_plus_methods(self, engine):
+        report = engine.skyline_probability(0, method="det+")
+        assert report.preprocessing is not None
+        assert report.preprocessing.kept_count == 3
+        assert len(report.partition_results) == 3
+
+    def test_det_has_no_preprocessing(self, engine):
+        report = engine.skyline_probability(0, method="det")
+        assert report.preprocessing is None
+
+    def test_detplus_budget_error_suggests_sampling(self):
+        dataset = block_zipf_dataset(64, 3, blocks=1, seed=3)
+        preferences = HashedPreferenceModel(3, seed=4)
+        engine = SkylineProbabilityEngine(
+            dataset, preferences, max_exact_objects=5
+        )
+        with pytest.raises(ComputationBudgetError, match="sam"):
+            engine.skyline_probability(0, method="det+")
+
+    def test_auto_falls_back_to_sampling(self):
+        dataset = block_zipf_dataset(64, 3, blocks=1, seed=3)
+        preferences = HashedPreferenceModel(3, seed=4)
+        engine = SkylineProbabilityEngine(
+            dataset, preferences, max_exact_objects=5
+        )
+        report = engine.skyline_probability(
+            0, method="auto", samples=2000, seed=5
+        )
+        assert not report.exact
+        assert report.samples >= 2000
+
+    def test_auto_exact_when_feasible(self, engine):
+        report = engine.skyline_probability(0, method="auto")
+        assert report.exact
+        assert report.samples == 0
+
+    def test_auto_hybrid_matches_sam_accuracy(self):
+        # one big partition forced to sampling; smaller ones exact
+        dataset = block_zipf_dataset(80, 3, blocks=4, seed=6)
+        preferences = HashedPreferenceModel(3, seed=7)
+        tight = SkylineProbabilityEngine(
+            dataset, preferences, max_exact_objects=10
+        )
+        loose = SkylineProbabilityEngine(dataset, preferences)
+        approx = tight.skyline_probability(
+            0, method="auto", samples=20000, seed=8
+        )
+        exact = loose.skyline_probability(0, method="det+")
+        assert approx.probability == pytest.approx(exact.probability, abs=0.02)
+
+    def test_ablation_switches_forwarded(self, engine):
+        report = engine.skyline_probability(
+            0, method="det+", use_absorption=False
+        )
+        assert report.preprocessing.absorbed_by == {}
+        assert report.probability == pytest.approx(RUNNING_EXAMPLE_SKY_O)
+
+    def test_report_probability_validated(self):
+        with pytest.raises(ReproError):
+            SkylineReport(probability=1.5, method="det", exact=True)
+
+
+class TestDatasetOperators:
+    def test_skyline_probabilities_all(self, observation):
+        dataset, preferences = observation
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        assert engine.skyline_probabilities(method="det") == pytest.approx(
+            list(OBSERVATION_SKYLINE_PROBABILITIES)
+        )
+
+    def test_skyline_probabilities_subset(self, engine):
+        values = engine.skyline_probabilities(method="det", indices=[0])
+        assert values == [pytest.approx(RUNNING_EXAMPLE_SKY_O)]
+
+    def test_probabilistic_skyline_threshold(self, observation):
+        dataset, preferences = observation
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        assert engine.probabilistic_skyline(0.5, method="det") == [0, 2]
+        assert engine.probabilistic_skyline(0.2, method="det") == [0, 1, 2]
+        assert engine.probabilistic_skyline(0.9, method="det") == []
+
+    def test_probabilistic_skyline_invalid_tau(self, engine):
+        with pytest.raises(ReproError):
+            engine.probabilistic_skyline(0.0)
+        with pytest.raises(ReproError):
+            engine.probabilistic_skyline(1.5)
+
+    def test_top_k_ranking(self, observation):
+        dataset, preferences = observation
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        top = engine.top_k(2, method="det")
+        assert [index for index, _ in top] == [0, 2]  # ties broken by index
+        assert top[0][1] == pytest.approx(0.5)
+
+    def test_top_k_larger_than_dataset(self, observation):
+        dataset, preferences = observation
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        assert len(engine.top_k(10, method="det")) == 3
+
+    def test_top_k_invalid(self, engine):
+        with pytest.raises(ReproError):
+            engine.top_k(0)

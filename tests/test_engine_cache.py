@@ -1,0 +1,95 @@
+"""Tests for the engine's exact-result cache and its invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SkylineProbabilityEngine
+from repro.core.objects import Dataset
+from repro.core.preferences import PreferenceModel
+
+
+@pytest.fixture
+def engine():
+    dataset = Dataset([("a", "x"), ("b", "y"), ("a", "y")])
+    preferences = PreferenceModel(2)
+    preferences.set_preference(0, "a", "b", 0.6)
+    preferences.set_preference(1, "x", "y", 0.7)
+    return SkylineProbabilityEngine(dataset, preferences)
+
+
+class TestVersionCounter:
+    def test_version_starts_at_zero(self):
+        assert PreferenceModel(1).version == 0
+
+    def test_version_bumps_on_set(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "b", 0.5)
+        assert model.version == 1
+        model.set_preference(0, "a", "b", 0.6)
+        assert model.version == 2
+
+    def test_copy_has_independent_version(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "b", 0.5)
+        clone = model.copy()
+        clone.set_preference(0, "c", "d", 0.5)
+        assert model.version == 1
+
+
+class TestExactCache:
+    def test_repeated_exact_query_served_from_cache(self, engine):
+        first = engine.skyline_probability(0, method="det")
+        second = engine.skyline_probability(0, method="det")
+        assert second is first  # identical object: memoised
+
+    def test_sampled_queries_never_cached(self, engine):
+        first = engine.skyline_probability(0, method="sam", samples=100, seed=1)
+        second = engine.skyline_probability(0, method="sam", samples=100, seed=2)
+        assert second is not first
+
+    def test_preference_update_invalidates(self, engine):
+        # object 1 = ("b", "y") is dominated through Pr(a ≺ b), so the
+        # update must change its exact answer (a cached stale value would
+        # not)
+        before = engine.skyline_probability(1, method="det").probability
+        engine.preferences.set_preference(0, "a", "b", 0.1)
+        after = engine.skyline_probability(1, method="det").probability
+        assert after != before
+
+    def test_methods_cached_separately(self, engine):
+        det = engine.skyline_probability(0, method="det")
+        detplus = engine.skyline_probability(0, method="det+")
+        assert det is not detplus
+        assert det.probability == pytest.approx(detplus.probability)
+
+    def test_ablation_switches_cached_separately(self, engine):
+        with_absorption = engine.skyline_probability(0, method="det+")
+        without = engine.skyline_probability(
+            0, method="det+", use_absorption=False
+        )
+        assert with_absorption is not without
+
+    def test_clear_cache(self, engine):
+        first = engine.skyline_probability(0, method="det")
+        engine.clear_cache()
+        second = engine.skyline_probability(0, method="det")
+        assert second is not first
+        assert second.probability == first.probability
+
+    def test_object_and_index_queries_share_cache(self, engine):
+        by_index = engine.skyline_probability(0, method="det")
+        by_object = engine.skyline_probability(
+            engine.dataset[0], method="det"
+        )
+        assert by_object is by_index
+
+    def test_cache_correct_after_many_updates(self, engine):
+        values = []
+        for probability in (0.2, 0.5, 0.8):
+            engine.preferences.set_preference(0, "a", "b", probability)
+            values.append(
+                engine.skyline_probability(1, method="det").probability
+            )
+        # sky(Q2=(b,y)) depends on Pr(a<b) through both competitors
+        assert len(set(values)) == 3

@@ -1,0 +1,64 @@
+"""Tests for the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ComputationBudgetError,
+    DatasetError,
+    DimensionalityError,
+    DuplicateObjectError,
+    EstimationError,
+    ExperimentError,
+    InvalidProbabilityError,
+    PreferenceError,
+    ReproError,
+    UnknownPreferenceError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            DatasetError,
+            DimensionalityError,
+            DuplicateObjectError,
+            PreferenceError,
+            UnknownPreferenceError,
+            InvalidProbabilityError,
+            ComputationBudgetError,
+            EstimationError,
+            ExperimentError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exception):
+        assert issubclass(exception, ReproError)
+
+    def test_dataset_specialisations(self):
+        assert issubclass(DimensionalityError, DatasetError)
+        assert issubclass(DuplicateObjectError, DatasetError)
+
+    def test_preference_specialisations(self):
+        assert issubclass(UnknownPreferenceError, PreferenceError)
+        assert issubclass(InvalidProbabilityError, PreferenceError)
+
+    def test_stdlib_compatibility(self):
+        # catchable by generic stdlib handlers where that is idiomatic
+        assert issubclass(UnknownPreferenceError, KeyError)
+        assert issubclass(InvalidProbabilityError, ValueError)
+
+    def test_unknown_preference_message_readable(self):
+        error = UnknownPreferenceError(2, "alpha", "beta")
+        assert "alpha" in str(error)
+        assert "dimension 2" in str(error)
+        assert error.dimension == 2
+        assert (error.a, error.b) == ("alpha", "beta")
+
+    def test_single_catch_at_api_boundary(self):
+        # the documented pattern: one except ReproError around any call
+        from repro.core.objects import Dataset
+
+        with pytest.raises(ReproError):
+            Dataset([])

@@ -1,0 +1,181 @@
+"""Unit tests for the deterministic algorithm (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exact import (
+    bonferroni_bounds,
+    inclusion_exclusion_layer_sums,
+    skyline_probability_det,
+)
+from repro.core.naive import skyline_probability_naive
+from repro.core.preferences import PreferenceModel
+from repro.data.examples import (
+    RUNNING_EXAMPLE_LAYER_SUMS,
+    RUNNING_EXAMPLE_SKY_O,
+    running_example,
+)
+from repro.errors import ComputationBudgetError
+
+
+@pytest.fixture
+def running_parts():
+    dataset, preferences = running_example()
+    return preferences, list(dataset.others(0)), dataset[0]
+
+
+class TestSkylineProbabilityDet:
+    def test_running_example(self, running_parts):
+        preferences, competitors, target = running_parts
+        result = skyline_probability_det(preferences, competitors, target)
+        assert result.probability == pytest.approx(RUNNING_EXAMPLE_SKY_O)
+        assert result.objects_used == 4
+
+    def test_no_competitors(self):
+        result = skyline_probability_det(PreferenceModel.equal(2), [], ("a", "b"))
+        assert result.probability == 1.0
+        assert result.terms_evaluated == 0
+
+    def test_duplicate_competitor_gives_zero(self):
+        result = skyline_probability_det(
+            PreferenceModel.equal(2), [("a", "b")], ("a", "b")
+        )
+        assert result.probability == 0.0
+
+    def test_certain_dominator_gives_zero(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 1.0)
+        result = skyline_probability_det(model, [("a",)], ("o",))
+        assert result.probability == 0.0
+
+    def test_impossible_dominators_filtered(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 0.0)
+        model.set_preference(0, "b", "o", 0.5)
+        result = skyline_probability_det(model, [("a",), ("b",)], ("o",))
+        assert result.probability == 0.5
+        assert result.objects_used == 1
+
+    def test_single_competitor(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 0.3)
+        result = skyline_probability_det(model, [("a",)], ("o",))
+        assert result.probability == pytest.approx(0.7)
+
+    def test_matches_naive_on_asymmetric_space(self, tiny_space):
+        dataset, preferences = tiny_space
+        for index in range(len(dataset)):
+            det = skyline_probability_det(
+                preferences, dataset.others(index), dataset[index]
+            ).probability
+            naive = skyline_probability_naive(
+                preferences, dataset.others(index), dataset[index]
+            )
+            assert det == pytest.approx(naive)
+
+    def test_max_objects_budget(self, running_parts):
+        preferences, competitors, target = running_parts
+        with pytest.raises(ComputationBudgetError):
+            skyline_probability_det(
+                preferences, competitors, target, max_objects=2
+            )
+
+    def test_max_terms_budget(self, running_parts):
+        preferences, competitors, target = running_parts
+        with pytest.raises(ComputationBudgetError):
+            skyline_probability_det(
+                preferences, competitors, target, max_terms=3
+            )
+
+    def test_terms_evaluated_counts_all_subsets(self, running_parts):
+        preferences, competitors, target = running_parts
+        result = skyline_probability_det(preferences, competitors, target)
+        # no zero factors in the running example, so all 2^4 - 1 subsets
+        assert result.terms_evaluated == 15
+
+    def test_without_sharing_agrees(self, running_parts):
+        preferences, competitors, target = running_parts
+        shared = skyline_probability_det(preferences, competitors, target)
+        naive = skyline_probability_det(
+            preferences, competitors, target, share_computation=False
+        )
+        assert naive.probability == pytest.approx(shared.probability)
+        assert naive.terms_evaluated == shared.terms_evaluated
+
+    def test_without_sharing_respects_max_terms(self, running_parts):
+        preferences, competitors, target = running_parts
+        with pytest.raises(ComputationBudgetError):
+            skyline_probability_det(
+                preferences, competitors, target,
+                share_computation=False, max_terms=3,
+            )
+
+    def test_probability_clamped_to_unit_interval(self):
+        # heavy cancellation should never produce values outside [0, 1]
+        model = PreferenceModel.equal(1)
+        competitors = [(f"v{i}",) for i in range(12)]
+        result = skyline_probability_det(model, competitors, ("o",))
+        assert 0.0 <= result.probability <= 1.0
+        assert result.probability == pytest.approx(0.5**12)
+
+
+class TestLayerSums:
+    def test_running_example_layers(self, running_parts):
+        preferences, competitors, target = running_parts
+        sums = inclusion_exclusion_layer_sums(preferences, competitors, target, 4)
+        assert sums == pytest.approx(list(RUNNING_EXAMPLE_LAYER_SUMS))
+
+    def test_truncated_layers_are_prefix(self, running_parts):
+        preferences, competitors, target = running_parts
+        full = inclusion_exclusion_layer_sums(preferences, competitors, target, 4)
+        short = inclusion_exclusion_layer_sums(preferences, competitors, target, 2)
+        assert short == pytest.approx(full[:2])
+
+    def test_max_size_beyond_n_is_capped(self, running_parts):
+        preferences, competitors, target = running_parts
+        sums = inclusion_exclusion_layer_sums(
+            preferences, competitors, target, 10
+        )
+        assert len(sums) == 4
+
+    def test_invalid_max_size(self, running_parts):
+        preferences, competitors, target = running_parts
+        with pytest.raises(ValueError):
+            inclusion_exclusion_layer_sums(preferences, competitors, target, 0)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ComputationBudgetError):
+            inclusion_exclusion_layer_sums(
+                PreferenceModel.equal(1), [("o",)], ("o",), 1
+            )
+
+
+class TestBonferroniBounds:
+    def test_bracket_contains_exact(self, running_parts):
+        preferences, competitors, target = running_parts
+        exact = skyline_probability_det(
+            preferences, competitors, target
+        ).probability
+        for k in (1, 2, 3):
+            lower, upper = bonferroni_bounds(
+                preferences, competitors, target, k
+            )
+            assert lower <= exact + 1e-12
+            assert upper >= exact - 1e-12
+
+    def test_collapses_at_full_depth(self, running_parts):
+        preferences, competitors, target = running_parts
+        lower, upper = bonferroni_bounds(preferences, competitors, target, 4)
+        assert lower == pytest.approx(upper)
+        assert lower == pytest.approx(RUNNING_EXAMPLE_SKY_O)
+
+    def test_monotone_tightening(self, running_parts):
+        preferences, competitors, target = running_parts
+        widths = []
+        for k in (1, 2, 3, 4):
+            lower, upper = bonferroni_bounds(
+                preferences, competitors, target, k
+            )
+            widths.append(upper - lower)
+        assert widths == sorted(widths, reverse=True)

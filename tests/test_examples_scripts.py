@@ -1,0 +1,61 @@
+"""The example scripts must run end to end (they are documentation)."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"example {name} missing"
+    argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "Probabilistic skyline" in out
+    assert "biased" in out
+
+
+def test_paper_walkthrough_reproduces_numbers(capsys):
+    out = _run("paper_walkthrough.py", capsys)
+    assert "0.1875" in out  # sky(O) = 3/16
+    assert "paper: 3/16" in out
+    assert "satisfying assignments (brute force):   8" in out
+
+
+def test_hotel_rooms_seasons_differ(capsys):
+    out = _run("hotel_rooms.py", capsys)
+    assert "SUMMER" in out and "WINTER" in out
+    assert "probabilistic skyline" in out
+
+
+def test_music_recommendation(capsys):
+    out = _run("music_recommendation.py", capsys)
+    assert "Top recommendations" in out
+    assert "Exact cross-check" in out
+
+
+def test_what_if_analysis(capsys):
+    out = _run("what_if_analysis.py", capsys)
+    assert "derivative d sky / d p" in out
+    assert "uncertain" in out or "in" in out
+
+
+@pytest.mark.slow
+def test_nursery_admissions(capsys):
+    out = _run("nursery_admissions.py", capsys)
+    assert "240 distinct applications" in out
+    assert "n=12960" in out

@@ -1,0 +1,176 @@
+"""Unit tests for file persistence (JSON and CSV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objects import Dataset
+from repro.core.preferences import PreferenceModel
+from repro.data.procedural import HashedPreferenceModel, LazyRankedPreferenceModel
+from repro.errors import DatasetError, PreferenceError
+from repro.io import (
+    dataset_from_csv,
+    dataset_to_csv,
+    load_dataset,
+    load_preferences,
+    preference_model_from_dict,
+    preferences_from_csv,
+    preferences_to_csv,
+    save_dataset,
+    save_preferences,
+)
+
+
+@pytest.fixture
+def dataset():
+    return Dataset([("a", "x"), ("b", "y"), ("a", "y")], labels=["T", "U", "V"])
+
+
+@pytest.fixture
+def preferences():
+    model = PreferenceModel(2, default=0.5)
+    model.set_preference(0, "a", "b", 0.7, 0.2)
+    model.set_preference(1, "x", "y", 0.4)
+    return model
+
+
+class TestDatasetJson:
+    def test_round_trip(self, dataset, tmp_path):
+        path = tmp_path / "data.json"
+        save_dataset(dataset, path)
+        assert load_dataset(path) == dataset
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(DatasetError):
+            load_dataset(path)
+
+
+class TestDatasetCsv:
+    def test_round_trip_with_labels(self, dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        dataset_to_csv(dataset, path)
+        assert dataset_from_csv(path) == dataset
+
+    def test_round_trip_without_labels(self, dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        dataset_to_csv(dataset, path, include_labels=False)
+        restored = dataset_from_csv(path, label_column=None)
+        assert restored.objects == dataset.objects
+        assert restored.labels == ("Q1", "Q2", "Q3")
+
+    def test_missing_label_column_treated_as_attributes(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("c1,c2\nu,v\nw,z\n")
+        restored = dataset_from_csv(path)  # no 'label' header present
+        assert restored.dimensionality == 2
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            dataset_from_csv(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("label,dim0\n")
+        with pytest.raises(DatasetError):
+            dataset_from_csv(path)
+
+    def test_ragged_row_reports_line(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("label,dim0,dim1\nT,a,x\nU,b\n")
+        with pytest.raises(DatasetError, match=":3"):
+            dataset_from_csv(path)
+
+    def test_duplicates_controlled(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text("dim0\nv\nv\n")
+        with pytest.raises(DatasetError):
+            dataset_from_csv(path, label_column=None)
+        restored = dataset_from_csv(
+            path, label_column=None, allow_duplicates=True
+        )
+        assert restored.cardinality == 2
+
+
+class TestPreferencesJson:
+    def test_plain_round_trip(self, preferences, tmp_path):
+        path = tmp_path / "prefs.json"
+        save_preferences(preferences, path)
+        assert load_preferences(path) == preferences
+
+    def test_hashed_round_trip(self, tmp_path):
+        model = HashedPreferenceModel(3, seed=11, incomparable_fraction=0.2)
+        model.set_preference(1, "a", "b", 0.9, 0.05)
+        path = tmp_path / "hashed.json"
+        save_preferences(model, path)
+        restored = load_preferences(path)
+        assert isinstance(restored, HashedPreferenceModel)
+        assert restored.prob_prefers(0, "p", "q") == model.prob_prefers(0, "p", "q")
+        assert restored.prob_prefers(1, "a", "b") == 0.9
+
+    def test_ranked_round_trip(self, tmp_path):
+        model = LazyRankedPreferenceModel(2, 0.8, flip_dimensions=(1,))
+        path = tmp_path / "ranked.json"
+        save_preferences(model, path)
+        restored = load_preferences(path)
+        assert isinstance(restored, LazyRankedPreferenceModel)
+        assert restored.prob_prefers(1, "a", "b") == pytest.approx(0.2)
+
+    def test_unknown_procedural_type(self):
+        with pytest.raises(PreferenceError):
+            preference_model_from_dict(
+                {"dimensionality": 1, "procedural": {"type": "psychic"}}
+            )
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("]")
+        with pytest.raises(PreferenceError):
+            load_preferences(path)
+
+
+class TestPreferencesCsv:
+    def test_round_trip(self, preferences, tmp_path):
+        path = tmp_path / "prefs.csv"
+        preferences_to_csv(preferences, path)
+        restored = preferences_from_csv(path, 2, default=0.5)
+        assert restored.prob_prefers(0, "a", "b") == 0.7
+        assert restored.prob_prefers(0, "b", "a") == 0.2
+        assert restored.prob_prefers(1, "y", "x") == pytest.approx(0.6)
+
+    def test_empty_backward_column_means_comparable(self, tmp_path):
+        path = tmp_path / "prefs.csv"
+        path.write_text("dimension,a,b,prob_a_over_b,prob_b_over_a\n0,u,v,0.3,\n")
+        restored = preferences_from_csv(path, 1)
+        assert restored.prob_prefers(0, "v", "u") == pytest.approx(0.7)
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("dim,a,b\n0,u,v\n")
+        with pytest.raises(PreferenceError, match="expected columns"):
+            preferences_from_csv(path, 1)
+
+    def test_malformed_probability_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("dimension,a,b,prob_a_over_b\n0,u,v,huh\n")
+        with pytest.raises(PreferenceError, match=":2"):
+            preferences_from_csv(path, 1)
+
+
+class TestEndToEnd:
+    def test_saved_inputs_answer_queries(self, dataset, preferences, tmp_path):
+        from repro.core.engine import SkylineProbabilityEngine
+
+        save_dataset(dataset, tmp_path / "d.json")
+        save_preferences(preferences, tmp_path / "p.json")
+        engine = SkylineProbabilityEngine(
+            load_dataset(tmp_path / "d.json"),
+            load_preferences(tmp_path / "p.json"),
+        )
+        direct = SkylineProbabilityEngine(dataset, preferences)
+        assert engine.skyline_probability(0, method="det").probability == (
+            direct.skyline_probability(0, method="det").probability
+        )

@@ -1,0 +1,190 @@
+"""Tests for the query CLI (`python -m repro`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.data.examples import running_example
+from repro.io import (
+    dataset_to_csv,
+    preferences_to_csv,
+    save_dataset,
+    save_preferences,
+)
+
+
+@pytest.fixture
+def inputs(tmp_path):
+    dataset, preferences = running_example()
+    dataset_path = tmp_path / "data.json"
+    save_dataset(dataset, dataset_path)
+    # materialise the equal-preference pairs explicitly so the JSON model
+    # stands alone (the fixture uses a default of 0.5)
+    preferences_path = tmp_path / "prefs.json"
+    save_preferences(preferences, preferences_path)
+    return str(dataset_path), str(preferences_path)
+
+
+class TestQuery:
+    def test_exact_query(self, inputs, capsys):
+        dataset_path, preferences_path = inputs
+        code = main(
+            [
+                "query", "--dataset", dataset_path,
+                "--preferences", preferences_path,
+                "--target", "0", "--method", "det",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sky(O) = 0.187500" in out
+
+    def test_json_output(self, inputs, capsys):
+        dataset_path, preferences_path = inputs
+        code = main(
+            [
+                "query", "--dataset", dataset_path,
+                "--preferences", preferences_path,
+                "--target", "0", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["probability"] == pytest.approx(3 / 16)
+        assert payload["exact"] is True
+
+    def test_sampling_query(self, inputs, capsys):
+        dataset_path, preferences_path = inputs
+        code = main(
+            [
+                "query", "--dataset", dataset_path,
+                "--preferences", preferences_path,
+                "--target", "0", "--method", "sam",
+                "--samples", "2000", "--seed", "1", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["samples"] == 2000
+        assert payload["probability"] == pytest.approx(3 / 16, abs=0.05)
+
+
+class TestSkylineAndTopK:
+    def test_skyline_threshold(self, inputs, capsys):
+        dataset_path, preferences_path = inputs
+        code = main(
+            [
+                "skyline", "--dataset", dataset_path,
+                "--preferences", preferences_path,
+                "--tau", "0.3", "--method", "det+", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        labels = {entry["label"] for entry in payload["skyline"]}
+        assert "Q3" in labels  # the value-disjoint competitor scores high
+
+    def test_topk(self, inputs, capsys):
+        dataset_path, preferences_path = inputs
+        code = main(
+            [
+                "topk", "--dataset", dataset_path,
+                "--preferences", preferences_path,
+                "-k", "2", "--method", "det+", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["ranking"]) == 2
+
+    def test_topk_pruned_matches_plain(self, inputs, capsys):
+        dataset_path, preferences_path = inputs
+        main(
+            [
+                "topk", "--dataset", dataset_path,
+                "--preferences", preferences_path,
+                "-k", "2", "--method", "det+", "--json",
+            ]
+        )
+        plain = json.loads(capsys.readouterr().out)
+        main(
+            [
+                "topk", "--dataset", dataset_path,
+                "--preferences", preferences_path,
+                "-k", "2", "--method", "det+", "--pruned", "--json",
+            ]
+        )
+        pruned = json.loads(capsys.readouterr().out)
+        assert plain["ranking"] == pruned["ranking"]
+
+
+class TestInfoAndErrors:
+    def test_info(self, inputs, capsys):
+        dataset_path, preferences_path = inputs
+        code = main(
+            [
+                "info", "--dataset", dataset_path,
+                "--preferences", preferences_path, "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["objects"] == 5
+        assert payload["missing_pairs"] == 0
+
+    def test_info_flags_missing_pairs(self, tmp_path, capsys):
+        dataset, _ = running_example()
+        dataset_path = tmp_path / "d.json"
+        save_dataset(dataset, dataset_path)
+        empty_path = tmp_path / "p.json"
+        from repro.core.preferences import PreferenceModel
+        save_preferences(PreferenceModel(2), empty_path)
+        code = main(
+            [
+                "info", "--dataset", str(dataset_path),
+                "--preferences", str(empty_path), "--json",
+            ]
+        )
+        assert code == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["missing_pairs"] > 0
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = main(
+            [
+                "query", "--dataset", str(tmp_path / "absent.json"),
+                "--preferences", str(tmp_path / "absent.json"),
+                "--target", "0",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_csv_inputs(self, tmp_path, capsys):
+        dataset, preferences = running_example()
+        dataset_path = tmp_path / "d.csv"
+        dataset_to_csv(dataset, dataset_path)
+        # materialise all pairs for the CSV table
+        from repro.data.prefgen import equal_preferences, ordered_values
+        from itertools import combinations
+        from repro.core.preferences import PreferenceModel
+
+        explicit = PreferenceModel(2)
+        for dimension, values in enumerate(ordered_values(dataset)):
+            for a, b in combinations(values, 2):
+                explicit.set_preference(dimension, a, b, 0.5, 0.5)
+        preferences_path = tmp_path / "p.csv"
+        preferences_to_csv(explicit, preferences_path)
+        code = main(
+            [
+                "query", "--dataset", str(dataset_path),
+                "--preferences", str(preferences_path),
+                "--target", "0", "--method", "det", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["probability"] == pytest.approx(3 / 16)

@@ -1,0 +1,127 @@
+"""Unit tests for the exhaustive possible-world enumerators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.naive import (
+    enumerate_worlds,
+    skyline_probabilities_naive,
+    skyline_probability_naive,
+)
+from repro.core.objects import Dataset
+from repro.core.preferences import PreferenceModel
+from repro.errors import ComputationBudgetError
+
+
+class TestSkylineProbabilityNaive:
+    def test_observation_example(self, observation):
+        dataset, preferences = observation
+        values = [
+            skyline_probability_naive(preferences, dataset.others(i), dataset[i])
+            for i in range(3)
+        ]
+        assert values == pytest.approx([0.5, 0.25, 0.5])
+
+    def test_running_example(self, running):
+        dataset, preferences = running
+        assert skyline_probability_naive(
+            preferences, dataset.others(0), dataset[0]
+        ) == pytest.approx(3 / 16)
+
+    def test_no_competitors(self):
+        assert skyline_probability_naive(PreferenceModel.equal(1), [], ("a",)) == 1.0
+
+    def test_duplicate_competitor(self):
+        assert (
+            skyline_probability_naive(PreferenceModel.equal(1), [("a",)], ("a",))
+            == 0.0
+        )
+
+    def test_certain_preferences(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 1.0)
+        assert skyline_probability_naive(model, [("a",)], ("o",)) == 0.0
+        model.set_preference(0, "b", "o", 0.0)
+        assert skyline_probability_naive(model, [("b",)], ("o",)) == 1.0
+
+    def test_incomparability_counts_as_not_dominated(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 0.2, 0.3)  # 0.5 incomparable
+        assert skyline_probability_naive(model, [("a",)], ("o",)) == pytest.approx(0.8)
+
+    def test_pair_budget(self):
+        model = PreferenceModel.equal(1)
+        competitors = [(f"v{i}",) for i in range(30)]
+        with pytest.raises(ComputationBudgetError):
+            skyline_probability_naive(model, competitors, ("o",), max_pairs=10)
+
+
+class TestEnumerateWorlds:
+    def test_probabilities_sum_to_one(self, running):
+        dataset, preferences = running
+        total = sum(p for _, p in enumerate_worlds(preferences, dataset))
+        assert total == pytest.approx(1.0)
+
+    def test_world_count_fully_comparable(self, observation):
+        dataset, preferences = observation
+        # 1 pair on dim 0 (s, t), 1 pair on dim 1 (alpha, beta), both 50/50
+        # comparable-only => 2 * 2 = 4 worlds
+        worlds = list(enumerate_worlds(preferences, dataset))
+        assert len(worlds) == 4
+        assert all(p == pytest.approx(0.25) for _, p in worlds)
+
+    def test_three_outcomes_with_incomparability(self):
+        dataset = Dataset([("a",), ("b",)])
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "b", 0.5, 0.3)
+        worlds = list(enumerate_worlds(model, dataset))
+        assert len(worlds) == 3
+        assert sorted(p for _, p in worlds) == pytest.approx([0.2, 0.3, 0.5])
+
+    def test_zero_probability_branches_skipped(self):
+        dataset = Dataset([("a",), ("b",)])
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "b", 1.0)
+        worlds = list(enumerate_worlds(model, dataset))
+        assert len(worlds) == 1
+        world, probability = worlds[0]
+        assert probability == 1.0
+        assert world[(0, "a", "b")] is True
+        assert world[(0, "b", "a")] is False
+
+    def test_worlds_record_both_orientations(self, observation):
+        dataset, preferences = observation
+        for world, _ in enumerate_worlds(preferences, dataset):
+            assert world[(0, "s", "t")] != world[(0, "t", "s")]
+
+    def test_budget_guard(self):
+        dataset = Dataset([(f"v{i}",) for i in range(12)])  # 66 pairs
+        with pytest.raises(ComputationBudgetError):
+            list(enumerate_worlds(PreferenceModel.equal(1), dataset))
+
+
+class TestSkylineProbabilitiesNaive:
+    def test_matches_single_object_enumeration(self, running):
+        dataset, preferences = running
+        all_probabilities = skyline_probabilities_naive(preferences, dataset)
+        for index in range(len(dataset)):
+            single = skyline_probability_naive(
+                preferences, dataset.others(index), dataset[index]
+            )
+            assert all_probabilities[index] == pytest.approx(single)
+
+    def test_certain_world_single_skyline(self):
+        dataset = Dataset([("best",), ("worst",)])
+        model = PreferenceModel(1)
+        model.set_preference(0, "best", "worst", 1.0)
+        assert skyline_probabilities_naive(model, dataset) == [1.0, 0.0]
+
+    def test_figure2_sample_space_masses(self, observation):
+        # Figure 2: sky(P1) collects the two worlds with s < t (1/4 each)
+        dataset, preferences = observation
+        mass = 0.0
+        for world, probability in enumerate_worlds(preferences, dataset):
+            if world[(0, "s", "t")]:
+                mass += probability
+        assert mass == pytest.approx(0.5)

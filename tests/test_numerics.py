@@ -1,0 +1,106 @@
+"""Numerical-robustness tests: extreme probabilities and heavy cancellation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SkylineProbabilityEngine
+from repro.core.exact import skyline_probability_det
+from repro.core.naive import skyline_probability_naive
+from repro.core.objects import Dataset
+from repro.core.preferences import PreferenceModel
+from repro.core.sampling import skyline_probability_sampled
+
+
+class TestExtremeProbabilities:
+    def test_tiny_preference_probabilities(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 1e-300)
+        result = skyline_probability_det(model, [("a",)], ("o",))
+        assert result.probability == pytest.approx(1.0)
+
+    def test_near_one_preferences(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 1.0 - 1e-12)
+        result = skyline_probability_det(model, [("a",)], ("o",))
+        assert result.probability == pytest.approx(1e-12, rel=1e-3)
+
+    def test_product_underflow_is_graceful(self):
+        # 600 independent dominators at p=0.5: sky = 2^-600, denormal-ish
+        model = PreferenceModel(1)
+        competitors = []
+        for i in range(600):
+            model.set_preference(0, f"v{i}", "o", 0.5)
+            competitors.append((f"v{i}",))
+        sampled = skyline_probability_sampled(
+            model, competitors, ("o",), samples=500, seed=1
+        )
+        assert sampled.estimate == 0.0  # always dominated in practice
+
+    def test_heavy_cancellation_stays_in_unit_interval(self):
+        # many overlapping strong dominators: alternating terms are large
+        model = PreferenceModel(2)
+        values = ["u", "v", "w"]
+        for value in values:
+            model.set_preference(0, value, "o0", 0.99)
+            model.set_preference(1, value, "o1", 0.99)
+        competitors = [
+            (a, b) for a in values for b in values
+        ]
+        result = skyline_probability_det(model, competitors, ("o0", "o1"))
+        naive = skyline_probability_naive(model, competitors, ("o0", "o1"))
+        assert 0.0 <= result.probability <= 1.0
+        assert result.probability == pytest.approx(naive, abs=1e-12)
+
+    def test_mixed_scales(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "tiny", "o", 1e-9)
+        model.set_preference(0, "huge", "o", 1.0 - 1e-9)
+        result = skyline_probability_det(
+            model, [("tiny",), ("huge",)], ("o",)
+        )
+        expected = (1 - 1e-9) * 1e-9  # survive the huge, dodge the tiny
+        assert result.probability == pytest.approx(expected, rel=1e-6)
+
+
+class TestScaleStress:
+    def test_many_identical_probability_competitors(self):
+        # n disjoint p=0.5 dominators: sky = 0.5^n exactly
+        model = PreferenceModel(1)
+        competitors = []
+        for i in range(50):
+            model.set_preference(0, f"v{i}", "o", 0.5)
+            competitors.append((f"v{i}",))
+        dataset = Dataset([("o",)] + competitors)
+        engine = SkylineProbabilityEngine(dataset, model)
+        report = engine.skyline_probability(0, method="det+")
+        assert report.probability == pytest.approx(0.5**50, rel=1e-9)
+
+    def test_deep_absorption_chain(self):
+        # v0 ⊂ v0v1 ⊂ v0v1v2 ⊂ ...: everything absorbed into one object
+        d = 12
+        model = PreferenceModel(d)
+        target = tuple(f"o{j}" for j in range(d))
+        competitors = []
+        for depth in range(1, d + 1):
+            competitor = tuple(
+                f"x{j}" if j < depth else f"o{j}" for j in range(d)
+            )
+            competitors.append(competitor)
+        for j in range(d):
+            model.set_preference(j, f"x{j}", f"o{j}", 0.5)
+        dataset = Dataset([target] + competitors)
+        engine = SkylineProbabilityEngine(dataset, model)
+        report = engine.skyline_probability(0, method="det+")
+        assert report.preprocessing.kept_count == 1
+        assert report.probability == pytest.approx(0.5)
+
+    def test_wide_dimensionality(self):
+        d = 40
+        model = PreferenceModel(d)
+        target = tuple(f"o{j}" for j in range(d))
+        competitor = tuple(f"x{j}" for j in range(d))
+        for j in range(d):
+            model.set_preference(j, f"x{j}", f"o{j}", 0.9)
+        result = skyline_probability_det(model, [competitor], target)
+        assert result.probability == pytest.approx(1.0 - 0.9**40)

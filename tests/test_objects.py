@@ -1,0 +1,199 @@
+"""Unit tests for the Dataset / object model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objects import Dataset, as_object
+from repro.errors import (
+    DatasetError,
+    DimensionalityError,
+    DuplicateObjectError,
+)
+
+
+class TestAsObject:
+    def test_tuple_passthrough(self):
+        assert as_object(("a", "b")) == ("a", "b")
+
+    def test_list_converted(self):
+        assert as_object(["a", 1]) == ("a", 1)
+
+    def test_string_rejected(self):
+        with pytest.raises(DatasetError):
+            as_object("abc")
+
+    def test_bytes_rejected(self):
+        with pytest.raises(DatasetError):
+            as_object(b"ab")
+
+
+class TestConstruction:
+    def test_basic(self):
+        dataset = Dataset([("a", "x"), ("b", "y")])
+        assert dataset.cardinality == 2
+        assert dataset.dimensionality == 2
+
+    def test_default_labels_follow_paper(self):
+        dataset = Dataset([("a",), ("b",), ("c",)])
+        assert dataset.labels == ("Q1", "Q2", "Q3")
+
+    def test_custom_labels(self):
+        dataset = Dataset([("a",), ("b",)], labels=["O", "Q1"])
+        assert dataset.label_of(0) == "O"
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(DatasetError):
+            Dataset([("a",)], labels=["x", "y"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset([])
+
+    def test_zero_dimensional_rejected(self):
+        with pytest.raises(DimensionalityError):
+            Dataset([()])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(DimensionalityError):
+            Dataset([("a", "b"), ("c",)])
+
+    def test_duplicates_rejected_by_default(self):
+        with pytest.raises(DuplicateObjectError):
+            Dataset([("a", "b"), ("a", "b")])
+
+    def test_duplicates_allowed_explicitly(self):
+        dataset = Dataset([("a",), ("a",)], allow_duplicates=True)
+        assert dataset.cardinality == 2
+
+    def test_mixed_value_types(self):
+        dataset = Dataset([(1, "x"), (2, "y")])
+        assert dataset[0] == (1, "x")
+
+
+class TestAccess:
+    def test_iteration_and_indexing(self):
+        objects = [("a", "x"), ("b", "y"), ("c", "z")]
+        dataset = Dataset(objects)
+        assert list(dataset) == [("a", "x"), ("b", "y"), ("c", "z")]
+        assert dataset[1] == ("b", "y")
+
+    def test_contains(self):
+        dataset = Dataset([("a", "x")])
+        assert ("a", "x") in dataset
+        assert ["a", "x"] in dataset  # list form normalised
+        assert ("z", "z") not in dataset
+        assert "ax" not in dataset  # scalar-like never matches
+
+    def test_index_of(self):
+        dataset = Dataset([("a",), ("b",)])
+        assert dataset.index_of(["b"]) == 1
+        with pytest.raises(ValueError):
+            dataset.index_of(("zz",))
+
+    def test_values_on(self):
+        dataset = Dataset([("a", "x"), ("b", "x")])
+        assert dataset.values_on(0) == {"a", "b"}
+        assert dataset.values_on(1) == {"x"}
+
+    def test_values_on_bad_dimension(self):
+        dataset = Dataset([("a",)])
+        with pytest.raises(DimensionalityError):
+            dataset.values_on(1)
+
+    def test_values_by_dimension(self):
+        dataset = Dataset([("a", "x"), ("b", "y")])
+        assert dataset.values_by_dimension() == [{"a", "b"}, {"x", "y"}]
+
+    def test_others_excludes_target(self):
+        dataset = Dataset([("a",), ("b",), ("c",)])
+        assert dataset.others(1) == [("a",), ("c",)]
+
+    def test_others_bad_index(self):
+        dataset = Dataset([("a",)])
+        with pytest.raises(DatasetError):
+            dataset.others(5)
+
+    def test_equality_and_hash(self):
+        a = Dataset([("a",), ("b",)])
+        b = Dataset([("a",), ("b",)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Dataset([("a",), ("c",)])
+
+    def test_repr_mentions_shape(self):
+        dataset = Dataset([("a", "x")])
+        assert "n=1" in repr(dataset)
+        assert "d=2" in repr(dataset)
+
+
+class TestTransforms:
+    def test_project_dedupes(self):
+        dataset = Dataset([("a", "x"), ("a", "y"), ("b", "x")])
+        projected = dataset.project([0])
+        assert projected.cardinality == 2
+        assert list(projected) == [("a",), ("b",)]
+
+    def test_project_reorders_dimensions(self):
+        dataset = Dataset([("a", "x")])
+        assert dataset.project([1, 0])[0] == ("x", "a")
+
+    def test_project_empty_rejected(self):
+        with pytest.raises(DimensionalityError):
+            Dataset([("a", "x")]).project([])
+
+    def test_project_bad_dimension(self):
+        with pytest.raises(DimensionalityError):
+            Dataset([("a", "x")]).project([5])
+
+    def test_deduplicated_keeps_first_label(self):
+        dataset = Dataset(
+            [("a",), ("a",), ("b",)],
+            labels=["first", "second", "third"],
+            allow_duplicates=True,
+        )
+        deduped = dataset.deduplicated()
+        assert deduped.cardinality == 2
+        assert deduped.labels == ("first", "third")
+
+    def test_sample_is_subset(self):
+        dataset = Dataset([(i,) for i in range(20)])
+        sampled = dataset.sample(5, seed=1)
+        assert sampled.cardinality == 5
+        assert all(obj in dataset for obj in sampled)
+
+    def test_sample_deterministic(self):
+        dataset = Dataset([(i,) for i in range(20)])
+        assert dataset.sample(5, seed=2) == dataset.sample(5, seed=2)
+
+    def test_sample_bad_size(self):
+        dataset = Dataset([("a",)])
+        with pytest.raises(DatasetError):
+            dataset.sample(2)
+        with pytest.raises(DatasetError):
+            dataset.sample(0)
+
+    def test_with_labels(self):
+        dataset = Dataset([("a",)]).with_labels(["renamed"])
+        assert dataset.labels == ("renamed",)
+
+
+class TestSerialization:
+    def test_round_trip_dict(self):
+        dataset = Dataset([("a", "x"), ("b", "y")], labels=["u", "v"])
+        assert Dataset.from_dict(dataset.to_dict()) == dataset
+
+    def test_round_trip_json(self):
+        dataset = Dataset([("a", 1), ("b", 2)])
+        restored = Dataset.from_json(dataset.to_json())
+        assert restored == dataset
+
+    def test_malformed_payload(self):
+        with pytest.raises(DatasetError):
+            Dataset.from_dict({"nope": 1})
+
+    def test_dimensionality_mismatch_detected(self):
+        payload = Dataset([("a", "x")]).to_dict()
+        payload["dimensionality"] = 7
+        with pytest.raises(DimensionalityError):
+            Dataset.from_dict(payload)

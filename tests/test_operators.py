@@ -1,0 +1,111 @@
+"""Unit tests for the confidence-aware threshold operator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SkylineProbabilityEngine
+from repro.core.operators import (
+    ThresholdDecision,
+    classify_against_threshold,
+)
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.procedural import HashedPreferenceModel
+from repro.errors import ReproError
+
+
+class TestExactClassification:
+    def test_matches_plain_threshold(self, observation):
+        dataset, preferences = observation
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        classification = classify_against_threshold(
+            engine, 0.5, method="det"
+        )
+        assert classification.members == [0, 2]
+        assert classification.excluded == [1]
+        assert classification.undecided == []
+
+    def test_probabilities_recorded(self, observation):
+        dataset, preferences = observation
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        classification = classify_against_threshold(engine, 0.4, method="det")
+        assert classification.probabilities == pytest.approx((0.5, 0.25, 0.5))
+        assert classification.tau == 0.4
+
+    def test_no_uncertainty_with_exact_methods(self, running):
+        dataset, preferences = running
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        classification = classify_against_threshold(
+            engine, 0.1875, method="det+"
+        )
+        assert classification.undecided == []
+        # threshold is inclusive: sky(O) == tau -> IN
+        assert 0 in classification.members
+
+    def test_invalid_tau(self, observation):
+        dataset, preferences = observation
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        with pytest.raises(ReproError):
+            classify_against_threshold(engine, 0.0)
+
+
+class TestSampledClassification:
+    @pytest.fixture
+    def engine(self, running):
+        dataset, preferences = running
+        return SkylineProbabilityEngine(dataset, preferences)
+
+    def test_clear_cases_decided(self, engine):
+        # sky values: O=3/16, Q1..Q3=3/16, Q4=7/16; tau=0.9 is far away
+        classification = classify_against_threshold(
+            engine, 0.9, method="sam", samples=3000, seed=1
+        )
+        assert classification.members == []
+        assert classification.undecided == []
+        assert len(classification.excluded) == 5
+
+    def test_borderline_is_uncertain(self, engine):
+        # tau right at sky(O) with few samples: the CI must straddle it
+        classification = classify_against_threshold(
+            engine, 0.1875, method="sam", samples=200, seed=2
+        )
+        assert 0 in classification.undecided
+
+    def test_more_samples_shrink_uncertainty(self, engine):
+        few = classify_against_threshold(
+            engine, 0.3, method="sam", samples=100, seed=3
+        )
+        many = classify_against_threshold(
+            engine, 0.3, method="sam", samples=50000, seed=3
+        )
+        assert len(many.undecided) <= len(few.undecided)
+
+    def test_decisions_respect_true_values(self, engine):
+        # with generous samples, no decided verdict may be wrong
+        truth = engine.skyline_probabilities(method="det")
+        classification = classify_against_threshold(
+            engine, 0.3, method="sam", samples=50000, seed=4
+        )
+        for index, decision in enumerate(classification.decisions):
+            if decision is ThresholdDecision.IN:
+                assert truth[index] >= 0.3
+            elif decision is ThresholdDecision.OUT:
+                assert truth[index] < 0.3
+
+
+class TestBlockZipfClassification:
+    def test_auto_mixes_exact_and_sampled(self):
+        dataset = block_zipf_dataset(40, 3, seed=5)
+        engine = SkylineProbabilityEngine(
+            dataset, HashedPreferenceModel(3, seed=6), max_exact_objects=6
+        )
+        classification = classify_against_threshold(
+            engine, 0.2, method="auto", samples=3000, seed=7
+        )
+        assert len(classification.decisions) == 40
+        counted = (
+            len(classification.members)
+            + len(classification.excluded)
+            + len(classification.undecided)
+        )
+        assert counted == 40

@@ -1,0 +1,176 @@
+"""Integration tests: every number the paper states, end to end.
+
+These are the reproduction oracles — each assertion is a value printed in
+the paper's text, checked against the library's public API.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import skyline_probability_sac
+from repro.core.dominance import dominance_probability, joint_dominance_probability
+from repro.core.engine import SkylineProbabilityEngine
+from repro.core.exact import inclusion_exclusion_layer_sums
+from repro.core.preprocess import preprocess
+from repro.data.examples import (
+    OBSERVATION_SAC_PROBABILITIES,
+    OBSERVATION_SKYLINE_PROBABILITIES,
+    RUNNING_EXAMPLE_LAYER_SUMS,
+    RUNNING_EXAMPLE_SAC_O,
+    RUNNING_EXAMPLE_SKY_O,
+)
+
+
+class TestObservationExample:
+    """Section 1, Figures 1-2."""
+
+    def test_dominance_probabilities(self, observation):
+        dataset, preferences = observation
+        p1, p2, p3 = dataset
+        # "the probability of P2 dominating P1 is 1/2"
+        assert dominance_probability(preferences, p2, p1) == pytest.approx(0.5)
+        # "Similarly we have Pr(P3 < P1) = 1/4"
+        assert dominance_probability(preferences, p3, p1) == pytest.approx(0.25)
+
+    def test_sac_computes_three_eighths_for_p1(self, observation):
+        dataset, preferences = observation
+        # "by assuming independent object dominance ... sky(P1) = 3/8"
+        assert skyline_probability_sac(
+            preferences, dataset.others(0), dataset[0]
+        ) == pytest.approx(3 / 8)
+
+    def test_true_skyline_probability_is_one_half(self, observation):
+        dataset, preferences = observation
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        # "sky(P1) = 1/4 + 1/4 = 1/2"
+        assert engine.skyline_probability(0, method="det").probability == (
+            pytest.approx(0.5)
+        )
+
+    def test_sac_correct_only_for_p2(self, observation):
+        # "for three objects in this example Sac can only correctly
+        #  compute sky(P2)"
+        dataset, preferences = observation
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        for index in range(3):
+            exact = engine.skyline_probability(index, method="det").probability
+            sac = skyline_probability_sac(
+                preferences, dataset.others(index), dataset[index]
+            )
+            assert exact == pytest.approx(OBSERVATION_SKYLINE_PROBABILITIES[index])
+            assert sac == pytest.approx(OBSERVATION_SAC_PROBABILITIES[index])
+            if index == 1:
+                assert sac == pytest.approx(exact)
+            else:
+                assert sac != pytest.approx(exact)
+
+    def test_p1_p3_share_no_values_p2_p3_share_one(self, observation):
+        dataset, _ = observation
+        p1, p2, p3 = dataset
+        assert not set(p1) & set(p3)
+        assert set(p2) & set(p3)
+
+
+class TestRunningExample:
+    """Section 2-3, Figures 4, 5 and 7."""
+
+    def test_joint_probability_of_first_three_events(self, running):
+        dataset, preferences = running
+        # "Pr(e1 ∩ e2 ∩ e3) = (1/2)^2 x (1/2)^2 = 1/16"
+        assert joint_dominance_probability(
+            preferences, [dataset[1], dataset[2], dataset[3]], dataset[0]
+        ) == pytest.approx(1 / 16)
+
+    def test_sharing_computation_step(self, running):
+        dataset, preferences = running
+        # "if given Pr(e1 ∩ e2) = 1/4, we can compute
+        #  Pr(e1 ∩ e2 ∩ e3) = Pr(e1 ∩ e2) * 1/2 * 1/2 = 1/16"
+        joint_12 = joint_dominance_probability(
+            preferences, [dataset[1], dataset[2]], dataset[0]
+        )
+        assert joint_12 == pytest.approx(1 / 4)
+        assert joint_12 * 0.5 * 0.5 == pytest.approx(1 / 16)
+
+    def test_equation_4_expansion(self, running):
+        dataset, preferences = running
+        # "sky(O) = 1 - 3/2 + 17/16 - 7/16 + 1/16 = 3/16"
+        sums = inclusion_exclusion_layer_sums(
+            preferences, list(dataset.others(0)), dataset[0], 4
+        )
+        assert sums == pytest.approx(list(RUNNING_EXAMPLE_LAYER_SUMS))
+        expansion = 1 - sums[0] + sums[1] - sums[2] + sums[3]
+        assert expansion == pytest.approx(RUNNING_EXAMPLE_SKY_O)
+
+    def test_sac_gives_nine_sixty_fourths(self, running):
+        dataset, preferences = running
+        # "if assuming object dominance independent, we will have an
+        #  incorrect result of sky(O), 9/64"
+        assert skyline_probability_sac(
+            preferences, dataset.others(0), dataset[0]
+        ) == pytest.approx(RUNNING_EXAMPLE_SAC_O)
+
+    def test_every_method_agrees_on_sky_o(self, running):
+        dataset, preferences = running
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        for method in ("det", "det+", "naive", "auto"):
+            assert engine.skyline_probability(0, method=method).probability == (
+                pytest.approx(RUNNING_EXAMPLE_SKY_O)
+            )
+
+    def test_section5_absorption_illustration(self, running):
+        dataset, preferences = running
+        # "to compute sky(O) in our running example, we first discard Q1
+        #  through absorption preprocessing"
+        prep = preprocess(
+            list(dataset.others(0)), dataset[0], preferences=preferences
+        )
+        assert 0 in prep.absorbed_by  # Q1 is competitor position 0
+
+    def test_section5_partition_illustration(self, running):
+        dataset, preferences = running
+        # "Then we partition remaining objects into three independent
+        #  sets: sky(O) = prod Pr(not e_i) = 3/16"
+        prep = preprocess(
+            list(dataset.others(0)), dataset[0], preferences=preferences
+        )
+        assert len(prep.partitions) == 3
+        assert prep.largest_partition == 1
+        product = 1.0
+        for part in prep.partitions:
+            competitor = dataset.others(0)[part[0]]
+            product *= 1.0 - dominance_probability(
+                preferences, competitor, dataset[0]
+            )
+        assert product == pytest.approx(RUNNING_EXAMPLE_SKY_O)
+
+    def test_q1_dispensable(self, running):
+        # "with/without Q1, we always compute same result of sky(O)"
+        dataset, preferences = running
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        with_q1 = engine.skyline_probability(0, method="det").probability
+        from repro.core.exact import skyline_probability_det
+
+        without_q1 = skyline_probability_det(
+            preferences,
+            [dataset[2], dataset[3], dataset[4]],
+            dataset[0],
+        ).probability
+        assert with_q1 == pytest.approx(without_q1)
+
+
+class TestTheorem1Example:
+    """Section 3.1's positive DNF example (Equation 7)."""
+
+    def test_reduction_of_equation_7(self):
+        from repro.complexity.dnf import PositiveDNF
+        from repro.complexity.reduction import (
+            count_models_via_skyline,
+            dnf_to_skyline_instance,
+        )
+
+        # (x1 ∧ x3) ∨ (x2 ∧ x4) ∨ (x3 ∧ x4) with 4 literals, 3 clauses
+        formula = PositiveDNF(4, [(0, 2), (1, 3), (2, 3)])
+        instance = dnf_to_skyline_instance(formula)
+        assert len(instance.competitors) == 3
+        assert count_models_via_skyline(formula) == formula.count_satisfying()

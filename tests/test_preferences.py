@@ -1,0 +1,216 @@
+"""Unit tests for the uncertain-preference model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.preferences import PreferenceModel, PreferencePair
+from repro.errors import (
+    DimensionalityError,
+    InvalidProbabilityError,
+    PreferenceError,
+    UnknownPreferenceError,
+)
+
+
+class TestConstruction:
+    def test_dimensionality_positive(self):
+        with pytest.raises(DimensionalityError):
+            PreferenceModel(0)
+
+    def test_default_in_range(self):
+        with pytest.raises(InvalidProbabilityError):
+            PreferenceModel(2, default=0.6)  # 2 * 0.6 > 1
+
+    def test_default_half_allowed(self):
+        model = PreferenceModel(2, default=0.5)
+        assert model.prob_prefers(0, "a", "b") == 0.5
+
+    def test_equal_factory(self):
+        model = PreferenceModel.equal(3)
+        assert model.dimensionality == 3
+        assert model.prob_prefers(2, "p", "q") == 0.5
+
+    def test_repr(self):
+        assert "pairs=0" in repr(PreferenceModel(2))
+
+
+class TestSetPreference:
+    def test_basic_set_and_get(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "b", 0.7)
+        assert model.prob_prefers(0, "a", "b") == 0.7
+        assert model.prob_prefers(0, "b", "a") == pytest.approx(0.3)
+
+    def test_explicit_backward(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "b", 0.5, 0.2)
+        assert model.prob_prefers(0, "b", "a") == 0.2
+        assert model.prob_incomparable(0, "a", "b") == pytest.approx(0.3)
+
+    def test_overwrite(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "b", 0.7)
+        model.set_preference(0, "a", "b", 0.1)
+        assert model.prob_prefers(0, "a", "b") == 0.1
+
+    def test_identical_values_rejected(self):
+        model = PreferenceModel(1)
+        with pytest.raises(PreferenceError):
+            model.set_preference(0, "a", "a", 0.5)
+
+    def test_probability_out_of_range(self):
+        model = PreferenceModel(1)
+        with pytest.raises(InvalidProbabilityError):
+            model.set_preference(0, "a", "b", 1.5)
+        with pytest.raises(InvalidProbabilityError):
+            model.set_preference(0, "a", "b", -0.1)
+
+    def test_sum_above_one_rejected(self):
+        model = PreferenceModel(1)
+        with pytest.raises(InvalidProbabilityError):
+            model.set_preference(0, "a", "b", 0.7, 0.7)
+
+    def test_nan_rejected(self):
+        model = PreferenceModel(1)
+        with pytest.raises(InvalidProbabilityError):
+            model.set_preference(0, "a", "b", float("nan"))
+
+    def test_bad_dimension(self):
+        model = PreferenceModel(1)
+        with pytest.raises(DimensionalityError):
+            model.set_preference(3, "a", "b", 0.5)
+
+    def test_update_bulk(self):
+        model = PreferenceModel(1)
+        model.update(0, {("a", "b"): 0.8, ("c", "d"): 0.4})
+        assert model.prob_prefers(0, "a", "b") == 0.8
+        assert model.prob_prefers(0, "d", "c") == pytest.approx(0.6)
+
+    def test_update_with_both_orientations(self):
+        model = PreferenceModel(1)
+        model.update(0, {("a", "b"): 0.5, ("b", "a"): 0.3})
+        assert model.prob_incomparable(0, "a", "b") == pytest.approx(0.2)
+
+
+class TestQueries:
+    def test_identical_values(self):
+        model = PreferenceModel(1)
+        assert model.prob_prefers(0, "a", "a") == 0.0
+        assert model.prob_weakly_prefers(0, "a", "a") == 1.0
+        assert model.prob_incomparable(0, "a", "a") == 0.0
+
+    def test_weak_equals_strict_for_distinct(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "b", 0.35)
+        assert model.prob_weakly_prefers(0, "a", "b") == 0.35
+
+    def test_unknown_pair_raises_without_default(self):
+        model = PreferenceModel(1)
+        with pytest.raises(UnknownPreferenceError):
+            model.prob_prefers(0, "a", "b")
+
+    def test_unknown_pair_error_is_readable(self):
+        model = PreferenceModel(1)
+        with pytest.raises(UnknownPreferenceError, match="dimension 0"):
+            model.prob_prefers(0, "a", "b")
+
+    def test_default_fallback(self):
+        model = PreferenceModel(1, default=0.25)
+        assert model.prob_prefers(0, "a", "b") == 0.25
+        assert model.prob_incomparable(0, "a", "b") == pytest.approx(0.5)
+
+    def test_explicit_beats_default(self):
+        model = PreferenceModel(1, default=0.5)
+        model.set_preference(0, "a", "b", 0.9)
+        assert model.prob_prefers(0, "a", "b") == 0.9
+
+    def test_has_preference(self):
+        model = PreferenceModel(1, default=0.5)
+        assert not model.has_preference(0, "a", "b")
+        model.set_preference(0, "a", "b", 0.5)
+        assert model.has_preference(0, "a", "b")
+        assert model.has_preference(0, "b", "a")
+
+    def test_pairs_iteration(self):
+        model = PreferenceModel(2)
+        model.set_preference(0, "a", "b", 0.6)
+        model.set_preference(1, "x", "y", 0.1, 0.2)
+        pairs0 = list(model.pairs(0))
+        assert len(pairs0) == 1
+        assert pairs0[0].forward == 0.6
+        assert pairs0[0].incomparable == pytest.approx(0.0)
+        assert list(model.pairs(1))[0].incomparable == pytest.approx(0.7)
+
+    def test_pair_count(self):
+        model = PreferenceModel(2)
+        model.set_preference(0, "a", "b", 0.6)
+        model.set_preference(1, "x", "y", 0.5)
+        assert model.pair_count(0) == 1
+        assert model.pair_count() == 2
+
+    def test_is_deterministic(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "b", 1.0)
+        assert model.is_deterministic()
+        model.set_preference(0, "c", "d", 0.5)
+        assert not model.is_deterministic()
+
+    def test_default_makes_model_uncertain(self):
+        assert not PreferenceModel(1, default=0.5).is_deterministic()
+
+
+class TestTransforms:
+    def test_copy_is_independent(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "b", 0.4)
+        clone = model.copy()
+        clone.set_preference(0, "a", "b", 0.9)
+        assert model.prob_prefers(0, "a", "b") == 0.4
+
+    def test_restricted_to(self):
+        model = PreferenceModel(3)
+        model.set_preference(2, "a", "b", 0.8)
+        restricted = model.restricted_to([2])
+        assert restricted.dimensionality == 1
+        assert restricted.prob_prefers(0, "a", "b") == 0.8
+
+    def test_restricted_to_empty_rejected(self):
+        with pytest.raises(DimensionalityError):
+            PreferenceModel(2).restricted_to([])
+
+    def test_equality(self):
+        a = PreferenceModel(1)
+        a.set_preference(0, "a", "b", 0.4)
+        b = PreferenceModel(1)
+        b.set_preference(0, "b", "a", 0.6)  # same pair, other orientation
+        assert a == b
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        model = PreferenceModel(2, default=0.5)
+        model.set_preference(0, "a", "b", 0.3, 0.3)
+        restored = PreferenceModel.from_json(model.to_json())
+        assert restored == model
+        assert restored.prob_incomparable(0, "a", "b") == pytest.approx(0.4)
+        assert restored.default == 0.5
+
+    def test_malformed(self):
+        with pytest.raises(PreferenceError):
+            PreferenceModel.from_dict({"bad": True})
+
+
+class TestPreferencePair:
+    def test_orientation_insensitive_equality(self):
+        a = PreferencePair(0, "a", "b", 0.7, 0.2)
+        b = PreferencePair(0, "b", "a", 0.2, 0.7)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_is_deterministic(self):
+        assert PreferencePair(0, "a", "b", 1.0, 0.0).is_deterministic
+        assert not PreferencePair(0, "a", "b", 0.6, 0.4).is_deterministic
+
+    def test_repr(self):
+        assert "dim=0" in repr(PreferencePair(0, "a", "b", 0.5, 0.5))

@@ -1,0 +1,206 @@
+"""Unit tests for absorption (Algorithm 3) and partition (Theorem 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exact import skyline_probability_det
+from repro.core.preferences import PreferenceModel
+from repro.core.preprocess import (
+    absorb,
+    drop_never_dominators,
+    partition,
+    preprocess,
+)
+from repro.data.examples import running_example
+from repro.errors import DatasetError
+
+
+@pytest.fixture
+def running_parts():
+    dataset, preferences = running_example()
+    return preferences, list(dataset.others(0)), dataset[0]
+
+
+class TestAbsorb:
+    def test_running_example_absorbs_q1(self, running_parts):
+        _, competitors, target = running_parts
+        result = absorb(competitors, target)
+        # Q1 = (x1, y1) is at position 0 of the competitor list
+        assert 0 in result.absorbed_by
+        assert result.kept_indices == (1, 2, 3)
+        assert result.removed_count == 1
+
+    def test_absorber_is_a_survivor(self, running_parts):
+        _, competitors, target = running_parts
+        result = absorb(competitors, target)
+        for absorber in result.absorbed_by.values():
+            assert absorber in result.kept_indices
+
+    def test_theorem3_subset_direction(self):
+        # B carries all of A's differing values -> B absorbed, A kept
+        target = ("o0", "o1", "o2")
+        a = ("v", "o1", "o2")          # differs on dim 0 only
+        b = ("v", "w", "o2")           # differs on dims 0 and 1, matches A
+        result = absorb([a, b], target)
+        assert result.kept_indices == (0,)
+        assert result.absorbed_by == {1: 0}
+
+    def test_no_absorption_without_value_match(self):
+        target = ("o0", "o1")
+        result = absorb([("a", "o1"), ("b", "c")], target)
+        assert result.kept_indices == (0, 1)
+        assert result.removed_count == 0
+
+    def test_differing_value_must_match_not_just_dimension(self):
+        target = ("o0", "o1")
+        # both differ on dim 0, but with different values: no absorption
+        result = absorb([("a", "o1"), ("b", "o1")], target)
+        assert result.kept_indices == (0, 1)
+
+    def test_transitive_chain_single_pass(self):
+        # A (1 diff) absorbs B (2 diffs) absorbs C (3 diffs); one pass must
+        # remove both B and C whatever the processing order
+        target = ("o0", "o1", "o2")
+        a = ("v0", "o1", "o2")
+        b = ("v0", "v1", "o2")
+        c = ("v0", "v1", "v2")
+        for ordering in ([a, b, c], [c, b, a], [b, c, a]):
+            result = absorb(ordering, target)
+            kept_objects = [ordering[i] for i in result.kept_indices]
+            assert kept_objects == [a]
+
+    def test_absorption_preserves_exact_probability(self, running_parts):
+        preferences, competitors, target = running_parts
+        full = skyline_probability_det(preferences, competitors, target)
+        result = absorb(competitors, target)
+        reduced = skyline_probability_det(
+            preferences,
+            [competitors[i] for i in result.kept_indices],
+            target,
+        )
+        assert reduced.probability == pytest.approx(full.probability)
+
+    def test_empty_competitors(self):
+        result = absorb([], ("o",))
+        assert result.kept_indices == ()
+        assert result.removed_count == 0
+
+    def test_duplicate_of_target_kept_untouched(self):
+        # Γ = ∅ objects are skipped (handled upstream by the engine)
+        result = absorb([("o",)], ("o",))
+        assert result.kept_indices == (0,)
+
+
+class TestPartition:
+    def test_running_example_three_singletons(self, running_parts):
+        _, competitors, target = running_parts
+        kept = absorb(competitors, target).kept_indices
+        groups = partition(competitors, target, kept)
+        assert sorted(map(tuple, groups)) == [(1,), (2,), (3,)]
+
+    def test_shared_value_groups_together(self):
+        target = ("o0", "o1")
+        competitors = [("a", "x"), ("a", "y"), ("b", "y"), ("c", "o1")]
+        groups = partition(competitors, target)
+        # a links 0-1, y links 1-2; 3 is alone
+        assert sorted(map(tuple, groups)) == [(0, 1, 2), (3,)]
+
+    def test_values_equal_to_target_do_not_link(self):
+        target = ("o0", "o1")
+        competitors = [("a", "o1"), ("b", "o1")]
+        groups = partition(competitors, target)
+        assert sorted(map(tuple, groups)) == [(0,), (1,)]
+
+    def test_indices_restriction(self):
+        target = ("o0",)
+        competitors = [("a",), ("a",), ("b",)]
+        groups = partition(competitors, target, indices=[0, 2])
+        assert sorted(map(tuple, groups)) == [(0,), (2,)]
+
+    def test_partition_product_equals_whole(self, running_parts):
+        preferences, competitors, target = running_parts
+        groups = partition(competitors, target)
+        product = 1.0
+        for group in groups:
+            product *= skyline_probability_det(
+                preferences, [competitors[i] for i in group], target
+            ).probability
+        whole = skyline_probability_det(
+            preferences, competitors, target
+        ).probability
+        assert product == pytest.approx(whole)
+
+    def test_empty(self):
+        assert partition([], ("o",)) == []
+
+
+class TestDropNeverDominators:
+    def test_splits_on_zero_factor(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 0.0)
+        model.set_preference(0, "b", "o", 0.4)
+        possible, impossible = drop_never_dominators(
+            model, [("a",), ("b",)], ("o",)
+        )
+        assert possible == [1]
+        assert impossible == [0]
+
+    def test_respects_indices(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 0.0)
+        model.set_preference(0, "b", "o", 0.4)
+        possible, impossible = drop_never_dominators(
+            model, [("a",), ("b",)], ("o",), indices=[1]
+        )
+        assert possible == [1]
+        assert impossible == []
+
+
+class TestPreprocessPipeline:
+    def test_running_example_end_to_end(self, running_parts):
+        preferences, competitors, target = running_parts
+        prep = preprocess(competitors, target, preferences=preferences)
+        assert prep.kept_indices == (1, 2, 3)
+        assert prep.absorbed_by == {0: 1}
+        assert prep.partitions == ((1,), (2,), (3,))
+        assert prep.kept_count == 3
+        assert prep.largest_partition == 1
+
+    def test_partition_objects_materialisation(self, running_parts):
+        preferences, competitors, target = running_parts
+        prep = preprocess(competitors, target, preferences=preferences)
+        groups = prep.partition_objects(competitors)
+        assert [len(group) for group in groups] == [1, 1, 1]
+        assert groups[0][0] == competitors[1]
+
+    def test_stages_can_be_disabled(self, running_parts):
+        preferences, competitors, target = running_parts
+        prep = preprocess(
+            competitors, target, preferences=preferences,
+            use_absorption=False, use_partition=False,
+        )
+        assert prep.kept_indices == (0, 1, 2, 3)
+        assert prep.partitions == ((0, 1, 2, 3),)
+
+    def test_without_preferences_no_impossible_filter(self, running_parts):
+        _, competitors, target = running_parts
+        prep = preprocess(competitors, target)
+        assert prep.dropped_impossible == ()
+
+    def test_impossible_dropped_with_preferences(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 0.0)
+        model.set_preference(0, "b", "o", 0.4)
+        prep = preprocess([("a",), ("b",)], ("o",), preferences=model)
+        assert prep.dropped_impossible == (0,)
+        assert prep.kept_indices == (1,)
+
+    def test_duplicate_target_rejected(self):
+        with pytest.raises(DatasetError):
+            preprocess([("o",)], ("o",))
+
+    def test_empty_competitors(self):
+        prep = preprocess([], ("o",))
+        assert prep.partitions == ()
+        assert prep.largest_partition == 0

@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Random small instances are cross-checked between independent
+implementations: the exhaustive world enumeration is the ground truth,
+Algorithm 1 (with and without sharing), the preprocessing pipeline, the
+Bonferroni bounds and the baselines must all be consistent with it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from strategies import disjoint_instance, uncertain_instance
+
+from repro.complexity.dnf import PositiveDNF
+from repro.complexity.reduction import count_models_via_skyline
+from repro.core.baselines import skyline_probability_a1, skyline_probability_sac
+from repro.core.engine import SkylineProbabilityEngine
+from repro.core.exact import bonferroni_bounds, skyline_probability_det
+from repro.core.naive import (
+    enumerate_worlds,
+    skyline_probabilities_naive,
+    skyline_probability_naive,
+)
+from repro.core.objects import Dataset
+from repro.core.preferences import PreferenceModel
+from repro.core.preprocess import absorb, partition
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+class TestExactAgainstGroundTruth:
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_det_matches_world_enumeration(self, instance):
+        preferences, competitors, target = instance
+        det = skyline_probability_det(preferences, competitors, target)
+        naive = skyline_probability_naive(preferences, competitors, target)
+        assert det.probability == pytest.approx(naive, abs=1e-9)
+
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_sharing_is_pure_optimisation(self, instance):
+        preferences, competitors, target = instance
+        shared = skyline_probability_det(preferences, competitors, target)
+        plain = skyline_probability_det(
+            preferences, competitors, target, share_computation=False
+        )
+        assert shared.probability == pytest.approx(plain.probability, abs=1e-12)
+
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_engine_methods_agree(self, instance):
+        preferences, competitors, target = instance
+        if not competitors:
+            return
+        dataset = Dataset([target] + competitors)
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        det = engine.skyline_probability(0, method="det").probability
+        detplus = engine.skyline_probability(0, method="det+").probability
+        auto = engine.skyline_probability(0, method="auto").probability
+        assert detplus == pytest.approx(det, abs=1e-9)
+        assert auto == pytest.approx(det, abs=1e-9)
+
+
+class TestPreprocessingInvariants:
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_absorption_preserves_probability(self, instance):
+        preferences, competitors, target = instance
+        result = absorb(competitors, target)
+        reduced = [competitors[i] for i in result.kept_indices]
+        before = skyline_probability_det(
+            preferences, competitors, target
+        ).probability
+        after = skyline_probability_det(preferences, reduced, target).probability
+        assert after == pytest.approx(before, abs=1e-9)
+
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_partition_product_equals_whole(self, instance):
+        preferences, competitors, target = instance
+        groups = partition(competitors, target)
+        product = 1.0
+        for group in groups:
+            product *= skyline_probability_det(
+                preferences, [competitors[i] for i in group], target
+            ).probability
+        whole = skyline_probability_det(
+            preferences, competitors, target
+        ).probability
+        assert product == pytest.approx(whole, abs=1e-9)
+
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_absorbed_events_are_contained(self, instance):
+        # if B is absorbed by A then Pr(e_B and e_A) == Pr(e_B)
+        from repro.core.dominance import (
+            dominance_probability,
+            joint_dominance_probability,
+        )
+
+        preferences, competitors, target = instance
+        result = absorb(competitors, target)
+        for absorbed, absorber in result.absorbed_by.items():
+            joint = joint_dominance_probability(
+                preferences,
+                [competitors[absorbed], competitors[absorber]],
+                target,
+            )
+            alone = dominance_probability(
+                preferences, competitors[absorbed], target
+            )
+            assert joint == pytest.approx(alone, abs=1e-12)
+
+
+class TestBoundsAndBaselines:
+    @SETTINGS
+    @given(uncertain_instance(), st.integers(min_value=1, max_value=4))
+    def test_bonferroni_brackets_exact(self, instance, depth):
+        preferences, competitors, target = instance
+        exact = skyline_probability_det(
+            preferences, competitors, target
+        ).probability
+        lower, upper = bonferroni_bounds(
+            preferences, competitors, target, depth
+        )
+        assert lower - 1e-9 <= exact <= upper + 1e-9
+
+    @SETTINGS
+    @given(disjoint_instance())
+    def test_sac_exact_on_value_disjoint_instances(self, instance):
+        preferences, competitors, target = instance
+        sac = skyline_probability_sac(preferences, competitors, target)
+        det = skyline_probability_det(
+            preferences, competitors, target
+        ).probability
+        assert sac == pytest.approx(det, abs=1e-9)
+
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_sac_never_overestimates(self, instance):
+        # shared factors only make the union smaller than independence
+        # predicts, so Sac's survival product is a lower bound on sky
+        preferences, competitors, target = instance
+        sac = skyline_probability_sac(preferences, competitors, target)
+        det = skyline_probability_det(
+            preferences, competitors, target
+        ).probability
+        assert sac <= det + 1e-9
+
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_a1_is_an_upper_bound_decreasing_in_top(self, instance):
+        preferences, competitors, target = instance
+        exact = skyline_probability_det(
+            preferences, competitors, target
+        ).probability
+        previous = 1.0
+        for top in range(len(competitors) + 1):
+            value = skyline_probability_a1(
+                preferences, competitors, target, top
+            )
+            assert value >= exact - 1e-9
+            assert value <= previous + 1e-9
+            previous = value
+
+
+class TestWorldEnumeration:
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_world_probabilities_sum_to_one(self, instance):
+        preferences, competitors, target = instance
+        dataset = Dataset([target] + competitors)
+        total = sum(p for _, p in enumerate_worlds(preferences, dataset))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_all_objects_consistent_with_single_object(self, instance):
+        preferences, competitors, target = instance
+        dataset = Dataset([target] + competitors)
+        bulk = skyline_probabilities_naive(preferences, dataset)
+        for index in range(len(dataset)):
+            single = skyline_probability_naive(
+                preferences, dataset.others(index), dataset[index]
+            )
+            assert bulk[index] == pytest.approx(single, abs=1e-9)
+
+
+class TestReductionProperty:
+    @SETTINGS
+    @given(
+        st.integers(min_value=2, max_value=7),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_dnf_counting_round_trip(self, variables, clauses, seed):
+        formula = PositiveDNF.random(variables, clauses, seed=seed)
+        assert count_models_via_skyline(formula) == formula.count_satisfying()
+
+
+class TestSerializationProperty:
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_preference_model_round_trip(self, instance):
+        preferences, _, _ = instance
+        assert PreferenceModel.from_json(preferences.to_json()) == preferences
+
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_dataset_round_trip(self, instance):
+        _, competitors, target = instance
+        dataset = Dataset([target] + competitors)
+        assert Dataset.from_json(dataset.to_json()) == dataset

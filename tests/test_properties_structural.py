@@ -1,0 +1,104 @@
+"""Structural property tests: soundness of removals and query purity."""
+
+from __future__ import annotations
+
+import pytest
+
+from hypothesis import given, settings
+
+from strategies import uncertain_instance
+
+from repro.core.engine import SkylineProbabilityEngine
+from repro.core.objects import Dataset
+from repro.core.preprocess import absorb, partition, preprocess
+from repro.core.pruning import top_k_pruned
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+def _gamma(competitor, target):
+    return {
+        (dimension, value)
+        for dimension, (value, target_value) in enumerate(
+            zip(competitor, target)
+        )
+        if value != target_value
+    }
+
+
+class TestAbsorptionSoundness:
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_every_removal_is_justified(self, instance):
+        """Whatever absorb removes must satisfy Theorem 3's condition."""
+        _, competitors, target = instance
+        result = absorb(competitors, target)
+        for absorbed, absorber in result.absorbed_by.items():
+            assert _gamma(competitors[absorber], target) <= _gamma(
+                competitors[absorbed], target
+            )
+
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_survivors_form_an_antichain(self, instance):
+        """No survivor's Γ may contain another's (else absorption missed)."""
+        _, competitors, target = instance
+        result = absorb(competitors, target)
+        kept = [competitors[i] for i in result.kept_indices]
+        for i, a in enumerate(kept):
+            for j, b in enumerate(kept):
+                if i != j:
+                    assert not _gamma(a, target) < _gamma(b, target)
+
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_partition_is_exact_cover(self, instance):
+        _, competitors, target = instance
+        groups = partition(competitors, target)
+        flattened = sorted(index for group in groups for index in group)
+        assert flattened == list(range(len(competitors)))
+
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_partitions_share_no_relevant_values(self, instance):
+        _, competitors, target = instance
+        groups = partition(competitors, target)
+        group_values = [
+            set().union(
+                *(_gamma(competitors[index], target) for index in group)
+            )
+            for group in groups
+        ]
+        for i, a in enumerate(group_values):
+            for b in group_values[i + 1 :]:
+                assert not a & b
+
+
+class TestQueryPurity:
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_queries_do_not_mutate_inputs(self, instance):
+        preferences, competitors, target = instance
+        if not competitors:
+            return
+        dataset = Dataset([target] + competitors)
+        snapshot = preferences.to_dict()
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        engine.skyline_probability(0, method="det+")
+        engine.skyline_probability(0, method="sam", samples=50, seed=0)
+        preprocess(competitors, target, preferences=preferences)
+        top_k_pruned(dataset, preferences, 1, method="det+")
+        assert preferences.to_dict() == snapshot
+        assert dataset.objects == tuple([target] + competitors)
+
+    @SETTINGS
+    @given(uncertain_instance())
+    def test_repeated_exact_queries_are_stable(self, instance):
+        preferences, competitors, target = instance
+        if not competitors:
+            return
+        dataset = Dataset([target] + competitors)
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        first = engine.skyline_probability(0, method="det+").probability
+        second = engine.skyline_probability(0, method="det+").probability
+        assert first == second

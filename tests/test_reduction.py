@@ -1,0 +1,97 @@
+"""Unit tests for the Theorem-1 reduction (#DNF ↔ skyline probability)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity.dnf import PositiveDNF
+from repro.complexity.reduction import (
+    count_models_via_skyline,
+    dnf_to_skyline_instance,
+    model_count_from_skyline_probability,
+    skyline_probability_of_dnf,
+)
+from repro.core.exact import skyline_probability_det
+from repro.core.preprocess import absorb
+from repro.core.sampling import skyline_probability_sampled
+
+
+class TestInstanceConstruction:
+    def test_paper_example_structure(self):
+        formula = PositiveDNF(4, [(0, 2), (1, 3), (2, 3)])
+        instance = dnf_to_skyline_instance(formula)
+        assert instance.target == ("o0", "o1", "o2", "o3")
+        assert len(instance.competitors) == 3
+        # clause (x1 ∧ x3) -> q on dims {0, 2}, o elsewhere
+        assert instance.competitors[0] == ("q0", "o1", "q2", "o3")
+        assert instance.assignment_probability == pytest.approx(1 / 16)
+
+    def test_preferences_are_half(self):
+        formula = PositiveDNF(2, [(0,)])
+        instance = dnf_to_skyline_instance(formula)
+        assert instance.preferences.prob_prefers(0, "q0", "o0") == 0.5
+        assert instance.preferences.prob_prefers(0, "o0", "q0") == 0.5
+
+
+class TestEquivalence:
+    def test_paper_example_counts(self):
+        formula = PositiveDNF(4, [(0, 2), (1, 3), (2, 3)])
+        assert count_models_via_skyline(formula) == 8
+        assert skyline_probability_of_dnf(formula) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_round_trip(self, seed):
+        formula = PositiveDNF.random(6, 5, seed=seed)
+        assert count_models_via_skyline(formula) == formula.count_satisfying()
+
+    def test_skyline_value_matches_oracle(self):
+        formula = PositiveDNF.random(8, 6, seed=77)
+        instance = dnf_to_skyline_instance(formula)
+        sky = skyline_probability_det(
+            instance.preferences, instance.competitors, instance.target
+        ).probability
+        assert sky == pytest.approx(skyline_probability_of_dnf(formula))
+
+    def test_model_count_recovery_rounds(self):
+        formula = PositiveDNF(3, [(0,), (1, 2)])
+        sky = skyline_probability_of_dnf(formula)
+        assert model_count_from_skyline_probability(
+            formula, sky + 1e-12
+        ) == formula.count_satisfying()
+
+    def test_sampling_agrees_with_count(self):
+        formula = PositiveDNF.random(5, 4, seed=5)
+        instance = dnf_to_skyline_instance(formula)
+        estimate = skyline_probability_sampled(
+            instance.preferences, instance.competitors, instance.target,
+            samples=40000, seed=6,
+        ).estimate
+        assert estimate == pytest.approx(
+            skyline_probability_of_dnf(formula), abs=0.01
+        )
+
+
+class TestStructuralCorrespondence:
+    def test_clause_subsumption_equals_absorption(self):
+        # C1 ⊂ C2 semantically subsumes C2; on the reduced instance this
+        # is exactly absorption of Q2 by Q1
+        formula = PositiveDNF(4, [(0, 1), (0, 1, 2), (3,)])
+        instance = dnf_to_skyline_instance(formula)
+        result = absorb(list(instance.competitors), instance.target)
+        assert result.absorbed_by == {1: 0}
+
+    def test_variable_disjoint_clauses_partition(self):
+        from repro.core.preprocess import partition
+
+        formula = PositiveDNF(4, [(0, 1), (2, 3)])
+        instance = dnf_to_skyline_instance(formula)
+        groups = partition(list(instance.competitors), instance.target)
+        assert sorted(map(tuple, groups)) == [(0,), (1,)]
+
+    def test_shared_variable_clauses_stay_together(self):
+        from repro.core.preprocess import partition
+
+        formula = PositiveDNF(3, [(0, 1), (1, 2)])
+        instance = dnf_to_skyline_instance(formula)
+        groups = partition(list(instance.competitors), instance.target)
+        assert sorted(map(tuple, groups)) == [(0, 1)]

@@ -1,0 +1,220 @@
+"""Unit tests for the Monte-Carlo algorithm (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import hoeffding_sample_size
+from repro.core.preferences import PreferenceModel
+from repro.core.sampling import (
+    skyline_probability_sampled,
+    skyline_probability_sequential,
+)
+from repro.data.examples import RUNNING_EXAMPLE_SKY_O, running_example
+from repro.errors import EstimationError
+
+
+@pytest.fixture
+def running_parts():
+    dataset, preferences = running_example()
+    return preferences, list(dataset.others(0)), dataset[0]
+
+
+class TestSampledEstimate:
+    @pytest.mark.parametrize("method", ["lazy", "vectorized"])
+    def test_converges_to_exact(self, running_parts, method):
+        preferences, competitors, target = running_parts
+        result = skyline_probability_sampled(
+            preferences, competitors, target,
+            samples=40000, seed=11, method=method,
+        )
+        assert result.estimate == pytest.approx(RUNNING_EXAMPLE_SKY_O, abs=0.01)
+        assert result.method == method
+        assert result.samples == 40000
+        assert result.successes == round(result.estimate * 40000)
+
+    def test_default_sample_size_is_theorem_2(self, running_parts):
+        preferences, competitors, target = running_parts
+        result = skyline_probability_sampled(
+            preferences, competitors, target,
+            epsilon=0.05, delta=0.1, seed=1, method="lazy",
+        )
+        assert result.samples == hoeffding_sample_size(0.05, 0.1)
+
+    def test_deterministic_with_seed(self, running_parts):
+        preferences, competitors, target = running_parts
+        a = skyline_probability_sampled(
+            preferences, competitors, target, samples=500, seed=3
+        )
+        b = skyline_probability_sampled(
+            preferences, competitors, target, samples=500, seed=3
+        )
+        assert a.estimate == b.estimate
+
+    def test_no_competitors_closed_form(self):
+        result = skyline_probability_sampled(
+            PreferenceModel.equal(1), [], ("a",), samples=10
+        )
+        assert result.estimate == 1.0
+        assert result.method == "closed-form"
+
+    def test_duplicate_competitor_closed_form(self):
+        result = skyline_probability_sampled(
+            PreferenceModel.equal(1), [("a",)], ("a",), samples=10
+        )
+        assert result.estimate == 0.0
+        assert result.method == "closed-form"
+
+    def test_certain_dominator_closed_form(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 1.0)
+        result = skyline_probability_sampled(
+            model, [("a",)], ("o",), samples=10
+        )
+        assert result.estimate == 0.0
+        assert result.method == "closed-form"
+
+    def test_impossible_dominators_ignored(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 0.0)
+        result = skyline_probability_sampled(
+            model, [("a",)], ("o",), samples=10, seed=0
+        )
+        assert result.estimate == 1.0
+        assert result.method == "closed-form"
+
+    def test_invalid_method(self, running_parts):
+        preferences, competitors, target = running_parts
+        with pytest.raises(EstimationError):
+            skyline_probability_sampled(
+                preferences, competitors, target, samples=10, method="magic"
+            )
+
+    def test_invalid_samples(self, running_parts):
+        preferences, competitors, target = running_parts
+        with pytest.raises(EstimationError):
+            skyline_probability_sampled(
+                preferences, competitors, target, samples=0
+            )
+
+    def test_invalid_chunk_size(self, running_parts):
+        preferences, competitors, target = running_parts
+        with pytest.raises(EstimationError):
+            skyline_probability_sampled(
+                preferences, competitors, target,
+                samples=10, method="vectorized", chunk_size=0,
+            )
+
+    def test_auto_picks_a_real_method(self, running_parts):
+        preferences, competitors, target = running_parts
+        result = skyline_probability_sampled(
+            preferences, competitors, target, samples=100, seed=0
+        )
+        assert result.method in ("lazy", "vectorized")
+
+    def test_vectorized_chunking_consistent(self, running_parts):
+        # identical results whatever the chunk split (same total, same
+        # seed stream ordering is chunk-dependent, so compare accuracy)
+        preferences, competitors, target = running_parts
+        small = skyline_probability_sampled(
+            preferences, competitors, target,
+            samples=20000, seed=5, method="vectorized", chunk_size=64,
+        )
+        large = skyline_probability_sampled(
+            preferences, competitors, target,
+            samples=20000, seed=5, method="vectorized", chunk_size=8192,
+        )
+        assert small.estimate == pytest.approx(large.estimate, abs=0.02)
+
+    def test_unsorted_checking_still_unbiased(self, running_parts):
+        preferences, competitors, target = running_parts
+        result = skyline_probability_sampled(
+            preferences, competitors, target,
+            samples=40000, seed=7, method="lazy", sort_by_dominance=False,
+        )
+        assert result.estimate == pytest.approx(RUNNING_EXAMPLE_SKY_O, abs=0.01)
+
+    def test_sorting_reduces_checks(self):
+        # a near-certain dominator should be checked first when sorted
+        model = PreferenceModel(1)
+        model.set_preference(0, "weak", "o", 0.01)
+        model.set_preference(0, "strong", "o", 0.99)
+        competitors = [("weak",), ("strong",)]
+        sorted_result = skyline_probability_sampled(
+            model, competitors, ("o",),
+            samples=2000, seed=9, method="lazy", sort_by_dominance=True,
+        )
+        unsorted_result = skyline_probability_sampled(
+            model, competitors, ("o",),
+            samples=2000, seed=9, method="lazy", sort_by_dominance=False,
+        )
+        assert sorted_result.checks < unsorted_result.checks
+
+    def test_error_radius_and_interval(self, running_parts):
+        preferences, competitors, target = running_parts
+        result = skyline_probability_sampled(
+            preferences, competitors, target, samples=3000, seed=13
+        )
+        radius = result.error_radius(0.01)
+        low, high = result.confidence_interval(0.01)
+        assert low == pytest.approx(max(0.0, result.estimate - radius))
+        assert high == pytest.approx(min(1.0, result.estimate + radius))
+        assert low <= RUNNING_EXAMPLE_SKY_O <= high
+
+    def test_shared_value_dependence_respected(self, observation):
+        # sampling must reproduce 1/2 (not Sac's 3/8) for P1
+        dataset, preferences = observation
+        result = skyline_probability_sampled(
+            preferences, dataset.others(0), dataset[0],
+            samples=40000, seed=17, method="lazy",
+        )
+        assert result.estimate == pytest.approx(0.5, abs=0.01)
+
+
+class TestSequentialEstimate:
+    def test_stops_early_on_extreme_probability(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 0.999)
+        result = skyline_probability_sequential(
+            model, [("a",)], ("o",), epsilon=0.05, delta=0.05, seed=1
+        )
+        assert result.samples <= hoeffding_sample_size(0.05, 0.05)
+        assert result.estimate == pytest.approx(0.001, abs=0.02)
+
+    def test_never_exceeds_theorem_ceiling(self, running_parts):
+        preferences, competitors, target = running_parts
+        result = skyline_probability_sequential(
+            preferences, competitors, target,
+            epsilon=0.05, delta=0.1, seed=2,
+        )
+        ceiling = hoeffding_sample_size(0.05, 0.1)
+        assert result.samples <= ceiling + 256  # one batch of slack
+
+    def test_accuracy(self, running_parts):
+        preferences, competitors, target = running_parts
+        result = skyline_probability_sequential(
+            preferences, competitors, target,
+            epsilon=0.02, delta=0.01, seed=3,
+        )
+        assert result.estimate == pytest.approx(RUNNING_EXAMPLE_SKY_O, abs=0.02)
+
+    def test_closed_forms(self):
+        model = PreferenceModel(1)
+        assert (
+            skyline_probability_sequential(model, [], ("a",), seed=0).estimate
+            == 1.0
+        )
+        model.set_preference(0, "a", "o", 1.0)
+        assert (
+            skyline_probability_sequential(
+                model, [("a",)], ("o",), seed=0
+            ).estimate
+            == 0.0
+        )
+
+    def test_invalid_batch_size(self, running_parts):
+        preferences, competitors, target = running_parts
+        with pytest.raises(EstimationError):
+            skyline_probability_sequential(
+                preferences, competitors, target, batch_size=0
+            )

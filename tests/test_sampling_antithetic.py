@@ -1,0 +1,103 @@
+"""Tests for the antithetic-variates sampler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.preferences import PreferenceModel
+from repro.core.sampling import skyline_probability_sampled
+from repro.data.examples import RUNNING_EXAMPLE_SKY_O, running_example
+from repro.util.rng import spawn_rngs
+
+
+@pytest.fixture(scope="module")
+def parts():
+    dataset, preferences = running_example()
+    return preferences, list(dataset.others(0)), dataset[0]
+
+
+class TestAntitheticSampler:
+    def test_converges_to_exact(self, parts):
+        preferences, competitors, target = parts
+        result = skyline_probability_sampled(
+            preferences, competitors, target,
+            samples=40000, seed=1, method="antithetic",
+        )
+        assert result.method == "antithetic"
+        assert result.samples == 40000
+        assert result.estimate == pytest.approx(RUNNING_EXAMPLE_SKY_O, abs=0.01)
+
+    def test_odd_sample_count_handled(self, parts):
+        preferences, competitors, target = parts
+        result = skyline_probability_sampled(
+            preferences, competitors, target,
+            samples=1001, seed=2, method="antithetic",
+        )
+        assert result.samples == 1001
+        assert 0 <= result.successes <= 1001
+
+    def test_single_sample(self, parts):
+        preferences, competitors, target = parts
+        result = skyline_probability_sampled(
+            preferences, competitors, target,
+            samples=1, seed=3, method="antithetic",
+        )
+        assert result.estimate in (0.0, 1.0)
+
+    def test_deterministic_with_seed(self, parts):
+        preferences, competitors, target = parts
+        runs = [
+            skyline_probability_sampled(
+                preferences, competitors, target,
+                samples=500, seed=4, method="antithetic",
+            ).estimate
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_closed_forms_unaffected(self):
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 1.0)
+        result = skyline_probability_sampled(
+            model, [("a",)], ("o",), samples=10, method="antithetic"
+        )
+        assert result.estimate == 0.0
+
+    def test_variance_not_worse_than_plain(self, parts):
+        """Antithetic pairing must not inflate variance (theory: reduces).
+
+        Compared over many independent runs with matched budgets; a
+        generous 1.15 factor absorbs estimation noise.
+        """
+        preferences, competitors, target = parts
+        samples = 512
+
+        def spread(method, seed):
+            runs = [
+                skyline_probability_sampled(
+                    preferences, competitors, target,
+                    samples=samples, seed=rng, method=method,
+                ).estimate
+                for rng in spawn_rngs(seed, 120)
+            ]
+            mean = sum(runs) / len(runs)
+            return sum((run - mean) ** 2 for run in runs) / (len(runs) - 1)
+
+        plain = spread("vectorized", 10)
+        antithetic = spread("antithetic", 11)
+        assert antithetic <= plain * 1.15
+
+    def test_extreme_probability_mirroring(self):
+        # p = 0.999 dominator: mirrored draws almost never disagree, but
+        # the estimator must stay unbiased
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "o", 0.9)
+        estimates = [
+            skyline_probability_sampled(
+                model, [("a",)], ("o",),
+                samples=1000, seed=rng, method="antithetic",
+            ).estimate
+            for rng in spawn_rngs(12, 40)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(0.1, abs=0.01)

@@ -1,0 +1,96 @@
+"""Tests for sampling-internals behaviour that users indirectly rely on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.preferences import PreferenceModel
+from repro.core.sampling import (
+    _effective_chunk,
+    _prepare,
+    skyline_probability_sampled,
+)
+
+
+class TestEffectiveChunk:
+    def test_narrow_instances_keep_requested_chunk(self):
+        assert _effective_chunk(1024, 100) == 1024
+
+    def test_wide_instances_get_shorter_chunks(self):
+        # 50k pairs: a 1024-row chunk would be ~400 MB of doubles
+        assert _effective_chunk(1024, 50_000) == 80
+
+    def test_floor_of_sixteen(self):
+        assert _effective_chunk(1024, 10_000_000) == 16
+
+    def test_zero_pairs_guarded(self):
+        assert _effective_chunk(256, 0) == 256
+
+
+class TestPrepare:
+    def _model(self):
+        model = PreferenceModel(2)
+        model.set_preference(0, "a", "o0", 0.9)
+        model.set_preference(0, "b", "o0", 0.2)
+        model.set_preference(1, "y", "o1", 0.5)
+        return model
+
+    def test_sorting_puts_strongest_first(self):
+        model = self._model()
+        prepared = _prepare(
+            model,
+            [("b", "o1"), ("a", "o1")],
+            ("o0", "o1"),
+            sort_by_dominance=True,
+        )
+        first = 1.0
+        for index in prepared.competitor_pairs[0]:
+            first *= prepared.pair_probabilities[index]
+        assert first == pytest.approx(0.9)
+        assert prepared.strongest_marginal == pytest.approx(0.9)
+
+    def test_strongest_marginal_independent_of_sorting(self):
+        model = self._model()
+        unsorted = _prepare(
+            model,
+            [("b", "o1"), ("a", "o1")],
+            ("o0", "o1"),
+            sort_by_dominance=False,
+        )
+        assert unsorted.strongest_marginal == pytest.approx(0.9)
+
+    def test_shared_variables_get_one_slot(self):
+        model = self._model()
+        prepared = _prepare(
+            model,
+            [("a", "o1"), ("a", "y")],
+            ("o0", "o1"),
+            sort_by_dominance=True,
+        )
+        # pairs: (0,'a') shared and (1,'y'): two distinct variables
+        assert len(prepared.pair_probabilities) == 2
+
+    def test_auto_uses_lazy_for_strong_dominators(self):
+        # large workload but near-certain dominator: auto must pick lazy
+        model = PreferenceModel(1)
+        competitors = []
+        model.set_preference(0, "strong", "o", 0.95)
+        competitors.append(("strong",))
+        for i in range(400):
+            model.set_preference(0, f"v{i}", "o", 0.05)
+            competitors.append((f"v{i}",))
+        result = skyline_probability_sampled(
+            model, competitors, ("o",), samples=2000, seed=0, method="auto"
+        )
+        assert result.method == "lazy"
+
+    def test_auto_uses_vectorized_for_weak_dominators(self):
+        model = PreferenceModel(1)
+        competitors = []
+        for i in range(400):
+            model.set_preference(0, f"v{i}", "o", 0.05)
+            competitors.append((f"v{i}",))
+        result = skyline_probability_sampled(
+            model, competitors, ("o",), samples=2000, seed=0, method="auto"
+        )
+        assert result.method == "vectorized"

@@ -1,0 +1,120 @@
+"""Statistical properties of the Monte-Carlo estimators.
+
+These tests treat the samplers as black boxes and check distributional
+facts: unbiasedness across independent runs, agreement between the lazy
+and vectorized implementations, binomial-consistent dispersion, and the
+Hoeffding guarantee holding empirically (seeded, so deterministic).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import hoeffding_sample_size
+from repro.core.sampling import skyline_probability_sampled
+from repro.core.topk import estimate_all_skyline_probabilities
+from repro.data.examples import RUNNING_EXAMPLE_SKY_O, running_example
+from repro.util.rng import spawn_rngs
+
+
+@pytest.fixture(scope="module")
+def parts():
+    dataset, preferences = running_example()
+    return preferences, list(dataset.others(0)), dataset[0], dataset
+
+
+class TestUnbiasedness:
+    def test_mean_of_many_runs_converges(self, parts):
+        preferences, competitors, target, _ = parts
+        estimates = [
+            skyline_probability_sampled(
+                preferences, competitors, target,
+                samples=400, seed=rng, method="lazy",
+            ).estimate
+            for rng in spawn_rngs(1234, 60)
+        ]
+        mean = sum(estimates) / len(estimates)
+        # 60 * 400 = 24000 effective draws: s.e. ~ 0.0025
+        assert mean == pytest.approx(RUNNING_EXAMPLE_SKY_O, abs=0.01)
+
+    def test_lazy_and_vectorized_share_distribution(self, parts):
+        preferences, competitors, target, _ = parts
+        lazy_runs = [
+            skyline_probability_sampled(
+                preferences, competitors, target,
+                samples=500, seed=rng, method="lazy",
+            ).estimate
+            for rng in spawn_rngs(77, 30)
+        ]
+        vector_runs = [
+            skyline_probability_sampled(
+                preferences, competitors, target,
+                samples=500, seed=rng, method="vectorized",
+            ).estimate
+            for rng in spawn_rngs(78, 30)
+        ]
+        lazy_mean = sum(lazy_runs) / len(lazy_runs)
+        vector_mean = sum(vector_runs) / len(vector_runs)
+        assert lazy_mean == pytest.approx(vector_mean, abs=0.02)
+
+
+class TestDispersion:
+    def test_variance_matches_binomial(self, parts):
+        preferences, competitors, target, _ = parts
+        samples = 500
+        runs = [
+            skyline_probability_sampled(
+                preferences, competitors, target,
+                samples=samples, seed=rng, method="lazy",
+            ).estimate
+            for rng in spawn_rngs(99, 80)
+        ]
+        mean = sum(runs) / len(runs)
+        variance = sum((run - mean) ** 2 for run in runs) / (len(runs) - 1)
+        p = RUNNING_EXAMPLE_SKY_O
+        expected = p * (1 - p) / samples
+        # loose factor-of-two band: we only guard against gross errors
+        # (e.g. accidentally correlated draws within a run)
+        assert expected / 2 <= variance <= expected * 2
+
+
+class TestHoeffdingGuarantee:
+    def test_empirical_failure_rate_below_delta(self, parts):
+        preferences, competitors, target, _ = parts
+        epsilon, delta = 0.05, 0.1
+        samples = hoeffding_sample_size(epsilon, delta)
+        failures = sum(
+            abs(
+                skyline_probability_sampled(
+                    preferences, competitors, target,
+                    samples=samples, seed=rng,
+                ).estimate
+                - RUNNING_EXAMPLE_SKY_O
+            )
+            > epsilon
+            for rng in spawn_rngs(2024, 40)
+        )
+        # Hoeffding is conservative: essentially no failures expected
+        assert failures <= math.ceil(delta * 40)
+
+
+class TestSharedWorldStatistics:
+    def test_per_object_estimates_independent_of_order(self, parts):
+        preferences, _, _, dataset = parts
+        reordered = type(dataset)(
+            list(dataset)[::-1], labels=list(dataset.labels)[::-1]
+        )
+        forward = estimate_all_skyline_probabilities(
+            preferences, dataset, samples=20000, seed=5
+        )
+        backward = estimate_all_skyline_probabilities(
+            preferences, reordered, samples=20000, seed=6
+        )
+        for label in dataset.labels:
+            i = dataset.labels.index(label)
+            j = reordered.labels.index(label)
+            assert forward.probabilities[i] == pytest.approx(
+                backward.probabilities[j], abs=0.02
+            )

@@ -1,0 +1,149 @@
+"""Unit tests for exact preference-sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from strategies import uncertain_instance
+
+from repro.core.exact import skyline_probability_det
+from repro.core.preferences import PreferenceModel
+from repro.core.sensitivity import preference_sensitivity, sky_profile
+from repro.errors import PreferenceError
+
+
+@pytest.fixture
+def simple_parts():
+    # one competitor differing on one dimension: sky = 1 - Pr(a ≺ o)
+    model = PreferenceModel(1)
+    model.set_preference(0, "a", "o", 0.3, 0.5)
+    return model, [("a",)], ("o",)
+
+
+class TestSimpleCase:
+    def test_conditional_values(self, simple_parts):
+        preferences, competitors, target = simple_parts
+        sensitivity = preference_sensitivity(
+            preferences, competitors, target, 0, "a", "o"
+        )
+        assert sensitivity.when_forward == 0.0  # a certainly dominates
+        assert sensitivity.when_backward == 1.0
+        assert sensitivity.when_incomparable == 1.0
+        assert sensitivity.current == pytest.approx(0.7)
+        assert sensitivity.current_forward == 0.3
+        assert sensitivity.current_backward == 0.5
+
+    def test_derivatives(self, simple_parts):
+        preferences, competitors, target = simple_parts
+        sensitivity = preference_sensitivity(
+            preferences, competitors, target, 0, "a", "o"
+        )
+        assert sensitivity.forward_derivative == pytest.approx(-1.0)
+        assert sensitivity.backward_derivative == pytest.approx(0.0)
+
+    def test_at_reproduces_current(self, simple_parts):
+        preferences, competitors, target = simple_parts
+        sensitivity = preference_sensitivity(
+            preferences, competitors, target, 0, "a", "o"
+        )
+        assert sensitivity.at(0.3) == pytest.approx(sensitivity.current)
+        assert sensitivity.at(0.3, 0.5) == pytest.approx(0.7)
+
+    def test_threshold_solution(self, simple_parts):
+        preferences, competitors, target = simple_parts
+        sensitivity = preference_sensitivity(
+            preferences, competitors, target, 0, "a", "o"
+        )
+        # sky(p) = 1 - p; crosses 0.6 at p = 0.4
+        assert sensitivity.threshold_for(0.6) == pytest.approx(0.4)
+
+    def test_threshold_unreachable(self, simple_parts):
+        preferences, competitors, target = simple_parts
+        sensitivity = preference_sensitivity(
+            preferences, competitors, target, 0, "a", "o"
+        )
+        # feasible forward range is [0, 1 - 0.5]; sky there is [0.5, 1]
+        assert sensitivity.threshold_for(0.2) is None
+
+    def test_profile_is_linear(self, simple_parts):
+        preferences, competitors, target = simple_parts
+        sensitivity = preference_sensitivity(
+            preferences, competitors, target, 0, "a", "o"
+        )
+        profile = sky_profile(sensitivity, [0.0, 0.25, 0.5])
+        assert profile == pytest.approx([1.0, 0.75, 0.5])
+
+
+class TestValidation:
+    def test_identical_values_rejected(self, simple_parts):
+        preferences, competitors, target = simple_parts
+        with pytest.raises(PreferenceError):
+            preference_sensitivity(
+                preferences, competitors, target, 0, "a", "a"
+            )
+
+    def test_at_rejects_invalid_probabilities(self, simple_parts):
+        preferences, competitors, target = simple_parts
+        sensitivity = preference_sensitivity(
+            preferences, competitors, target, 0, "a", "o"
+        )
+        with pytest.raises(PreferenceError):
+            sensitivity.at(1.5)
+        with pytest.raises(PreferenceError):
+            sensitivity.at(0.8, 0.8)
+
+
+class TestMultilinearity:
+    @settings(max_examples=30, deadline=None)
+    @given(uncertain_instance(), st.sampled_from([0.0, 0.2, 0.5, 0.8, 1.0]))
+    def test_profile_matches_recomputation(self, instance, new_forward):
+        """The trilinear profile predicts a full re-run exactly."""
+        preferences, competitors, target = instance
+        if not competitors:
+            return
+        # vary the pair between the target's and a competitor's dim-0 value
+        a = competitors[0][0]
+        b = target[0]
+        if a == b:
+            return
+        sensitivity = preference_sensitivity(
+            preferences, competitors, target, 0, a, b
+        )
+        backward = min(
+            preferences.prob_prefers(0, b, a), 1.0 - new_forward
+        )
+        adjusted = preferences.copy()
+        adjusted.set_preference(0, a, b, new_forward, backward)
+        recomputed = skyline_probability_det(
+            adjusted, competitors, target
+        ).probability
+        assert sensitivity.at(new_forward, backward) == pytest.approx(
+            recomputed, abs=1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(uncertain_instance())
+    def test_current_matches_convex_combination(self, instance):
+        preferences, competitors, target = instance
+        if not competitors:
+            return
+        a, b = competitors[0][0], target[0]
+        if a == b:
+            return
+        sensitivity = preference_sensitivity(
+            preferences, competitors, target, 0, a, b
+        )
+        combined = (
+            sensitivity.current_forward * sensitivity.when_forward
+            + sensitivity.current_backward * sensitivity.when_backward
+            + (
+                1.0
+                - sensitivity.current_forward
+                - sensitivity.current_backward
+            )
+            * sensitivity.when_incomparable
+        )
+        assert combined == pytest.approx(sensitivity.current, abs=1e-9)

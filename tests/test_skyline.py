@@ -1,0 +1,114 @@
+"""Unit tests for the classical (certain) skyline substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objects import Dataset
+from repro.core.preferences import PreferenceModel
+from repro.core.skyline import (
+    deterministic_skyline,
+    expected_skyline_size,
+    is_skyline_point_under_oracle,
+    skyline_under_oracle,
+)
+from repro.errors import PreferenceError
+
+
+def _chain_prefs(values):
+    """Certain preferences: earlier values strictly preferred (per dim)."""
+    model = PreferenceModel(len(values))
+    for dimension, ordered in enumerate(values):
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1 :]:
+                model.set_preference(dimension, a, b, 1.0)
+    return model
+
+
+class TestDeterministicSkyline:
+    def test_single_best_object(self):
+        dataset = Dataset([("good", "good"), ("bad", "good"), ("bad", "bad")])
+        model = _chain_prefs([["good", "bad"], ["good", "bad"]])
+        assert deterministic_skyline(dataset, model) == [0]
+
+    def test_pareto_incomparable_objects(self):
+        dataset = Dataset([("good", "bad"), ("bad", "good")])
+        model = _chain_prefs([["good", "bad"], ["good", "bad"]])
+        assert deterministic_skyline(dataset, model) == [0, 1]
+
+    def test_uncertain_preference_rejected(self):
+        dataset = Dataset([("a", "x"), ("b", "y")])
+        with pytest.raises(PreferenceError):
+            deterministic_skyline(dataset, PreferenceModel.equal(2))
+
+    def test_incomparable_values_keep_both(self):
+        dataset = Dataset([("a",), ("b",)])
+        model = PreferenceModel(1)
+        model.set_preference(0, "a", "b", 0.0, 0.0)  # certainly incomparable
+        assert deterministic_skyline(dataset, model) == [0, 1]
+
+    def test_dominance_chain(self):
+        dataset = Dataset([("v1",), ("v2",), ("v3",)])
+        model = _chain_prefs([["v1", "v2", "v3"]])
+        assert deterministic_skyline(dataset, model) == [0]
+
+
+class TestSkylineUnderOracle:
+    def test_oracle_controls_outcome(self):
+        dataset = Dataset([("a", "x"), ("b", "y")])
+
+        def first_always_wins(dimension, u, v):
+            return (u, v) in {("a", "b"), ("x", "y")}
+
+        assert skyline_under_oracle(dataset, first_always_wins) == [0]
+
+    def test_is_skyline_point_consistency(self):
+        dataset = Dataset([("a", "x"), ("b", "y"), ("a", "y")])
+
+        def nobody_wins(dimension, u, v):
+            return False
+
+        skyline = skyline_under_oracle(dataset, nobody_wins)
+        assert skyline == [0, 1, 2]
+        assert all(
+            is_skyline_point_under_oracle(dataset, index, nobody_wins)
+            for index in range(3)
+        )
+
+    def test_shared_values_skip_oracle(self):
+        dataset = Dataset([("a", "x"), ("a", "y")])
+        calls = []
+
+        def recording(dimension, u, v):
+            calls.append((dimension, u, v))
+            return True
+
+        skyline_under_oracle(dataset, recording)
+        assert all(dimension == 1 for dimension, _, _ in calls)
+
+
+class TestExpectedSkylineSize:
+    def test_linearity(self):
+        assert expected_skyline_size([0.5, 0.25, 0.25]) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert expected_skyline_size([]) == 0.0
+
+    def test_matches_naive_enumeration(self, running):
+        from repro.core.naive import skyline_probabilities_naive
+
+        dataset, preferences = running
+        probabilities = skyline_probabilities_naive(preferences, dataset)
+        # expectation over worlds must match the sum of probabilities
+        from repro.core.naive import enumerate_worlds
+        from repro.core.skyline import skyline_under_oracle as oracle_skyline
+
+        expectation = 0.0
+        for world, probability in enumerate_worlds(preferences, dataset):
+            size = len(
+                oracle_skyline(
+                    dataset, lambda d, a, b: world[(d, a, b)]
+                )
+            )
+            expectation += probability * size
+        assert expected_skyline_size(probabilities) == pytest.approx(expectation)

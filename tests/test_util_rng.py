@@ -1,0 +1,66 @@
+"""Unit tests for seeded RNG helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(42).random() == as_rng(42).random()
+
+    def test_different_seeds_differ(self):
+        assert as_rng(1).random() != as_rng(2).random()
+
+    def test_generator_passes_through_unchanged(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(7)
+        assert isinstance(as_rng(sequence), np.random.Generator)
+
+    def test_numpy_integer_accepted(self):
+        assert as_rng(np.int64(5)).random() == as_rng(5).random()
+
+    def test_invalid_seed_rejected(self):
+        with pytest.raises(TypeError):
+            as_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_spawn_zero(self):
+        assert list(spawn_rngs(0, 0)) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(123, 3)
+        draws = [rng.random() for rng in children]
+        assert len(set(draws)) == 3
+
+    def test_spawning_is_deterministic(self):
+        first = [rng.random() for rng in spawn_rngs(9, 4)]
+        second = [rng.random() for rng in spawn_rngs(9, 4)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(11)
+        children = spawn_rngs(parent, 2)
+        assert len(children) == 2
+        assert children[0].random() != children[1].random()
+
+    def test_spawn_from_seed_sequence(self):
+        children = spawn_rngs(np.random.SeedSequence(3), 2)
+        assert children[0].random() != children[1].random()

@@ -1,0 +1,73 @@
+"""Unit tests for subset iteration helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.subsets import iter_subsets, iter_subsets_of_size, popcount
+
+
+class TestIterSubsets:
+    def test_all_nonempty_subsets(self):
+        subsets = list(iter_subsets([1, 2, 3]))
+        assert subsets == [
+            (1,), (2,), (3,), (1, 2), (1, 3), (2, 3), (1, 2, 3),
+        ]
+
+    def test_include_empty(self):
+        subsets = list(iter_subsets([1, 2], include_empty=True))
+        assert subsets[0] == ()
+        assert len(subsets) == 4
+
+    def test_max_size_truncates(self):
+        subsets = list(iter_subsets([1, 2, 3], max_size=2))
+        assert all(len(s) <= 2 for s in subsets)
+        assert len(subsets) == 6
+
+    def test_max_size_beyond_length_is_fine(self):
+        assert len(list(iter_subsets([1, 2], max_size=10))) == 3
+
+    def test_negative_max_size_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_subsets([1], max_size=-1))
+
+    def test_empty_input(self):
+        assert list(iter_subsets([])) == []
+        assert list(iter_subsets([], include_empty=True)) == [()]
+
+    def test_sizes_are_nondecreasing(self):
+        sizes = [len(s) for s in iter_subsets(list(range(5)))]
+        assert sizes == sorted(sizes)
+
+    def test_count_matches_powerset(self):
+        assert len(list(iter_subsets(range(6)))) == 2**6 - 1
+
+
+class TestIterSubsetsOfSize:
+    def test_exact_size(self):
+        subsets = list(iter_subsets_of_size([1, 2, 3, 4], 2))
+        assert len(subsets) == 6
+        assert all(len(s) == 2 for s in subsets)
+
+    def test_size_zero(self):
+        assert list(iter_subsets_of_size([1, 2], 0)) == [()]
+
+    def test_size_above_length(self):
+        assert list(iter_subsets_of_size([1, 2], 3)) == []
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            iter_subsets_of_size([1], -2)
+
+
+class TestPopcount:
+    @pytest.mark.parametrize(
+        "mask, expected",
+        [(0, 0), (1, 1), (2, 1), (3, 2), (255, 8), (1 << 40, 1)],
+    )
+    def test_values(self, mask, expected):
+        assert popcount(mask) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)

@@ -1,0 +1,44 @@
+"""Unit tests for the wall-clock timer."""
+
+from __future__ import annotations
+
+import time
+
+from repro.util.timer import Timer
+
+
+class TestTimer:
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+    def test_measures_duration(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+
+    def test_not_running_after_exit(self):
+        with Timer() as timer:
+            pass
+        assert not timer.running
+
+    def test_running_inside_block(self):
+        with Timer() as timer:
+            assert timer.running
+            live = timer.elapsed
+            assert live >= 0.0
+
+    def test_elapsed_frozen_after_exit(self):
+        with Timer() as timer:
+            time.sleep(0.001)
+        first = timer.elapsed
+        time.sleep(0.005)
+        assert timer.elapsed == first
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.001)
+        first = timer.elapsed
+        with timer:
+            pass
+        assert timer.elapsed <= first

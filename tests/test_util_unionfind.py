@@ -1,0 +1,92 @@
+"""Unit tests for the union-find structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_new_element_is_its_own_component(self):
+        uf = UnionFind()
+        assert uf.find("a") == "a"
+        assert len(uf) == 1
+
+    def test_constructor_registers_elements(self):
+        uf = UnionFind(["a", "b", "c"])
+        assert len(uf) == 3
+        assert uf.component_count() == 3
+
+    def test_contains(self):
+        uf = UnionFind(["a"])
+        assert "a" in uf
+        assert "b" not in uf
+
+    def test_add_is_idempotent(self):
+        uf = UnionFind()
+        uf.add(1)
+        uf.add(1)
+        assert len(uf) == 1
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.connected("a", "b")
+        assert uf.component_count() == 1
+
+    def test_union_returns_root(self):
+        uf = UnionFind()
+        root = uf.union("a", "b")
+        assert root in ("a", "b")
+        assert uf.find("a") == root == uf.find("b")
+
+    def test_disjoint_elements_not_connected(self):
+        uf = UnionFind(["a", "b"])
+        assert not uf.connected("a", "b")
+
+    def test_union_same_component_is_noop(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        before = uf.component_count()
+        uf.union("a", "b")
+        assert uf.component_count() == before
+
+    def test_transitive_connectivity(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        uf.union(4, 5)
+        assert uf.connected(1, 3)
+        assert not uf.connected(3, 4)
+        assert uf.component_count() == 2
+
+    def test_components_partition_all_elements(self):
+        uf = UnionFind(range(10))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(3, 4)
+        components = uf.components()
+        flattened = sorted(element for group in components for element in group)
+        assert flattened == list(range(10))
+        sizes = sorted(len(group) for group in components)
+        assert sizes == [1, 1, 1, 1, 1, 2, 3]
+
+    def test_components_deterministic_order(self):
+        uf1 = UnionFind(["x", "y", "z"])
+        uf1.union("x", "z")
+        uf2 = UnionFind(["x", "y", "z"])
+        uf2.union("x", "z")
+        assert uf1.components() == uf2.components()
+
+    def test_long_chain_path_compression(self):
+        uf = UnionFind()
+        for i in range(1000):
+            uf.union(i, i + 1)
+        assert uf.connected(0, 1000)
+        assert uf.component_count() == 1
+
+    def test_mixed_hashable_types(self):
+        uf = UnionFind()
+        uf.union(("dim", 0), "value")
+        assert uf.connected(("dim", 0), "value")

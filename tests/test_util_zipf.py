@@ -1,0 +1,59 @@
+"""Unit tests for finite-support Zipf sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.zipf import zipf_probabilities, zipf_sample
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one(self):
+        assert zipf_probabilities(10).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        probabilities = zipf_probabilities(8, theta=1.0)
+        assert all(
+            probabilities[i] > probabilities[i + 1]
+            for i in range(len(probabilities) - 1)
+        )
+
+    def test_theta_one_exact_ratios(self):
+        probabilities = zipf_probabilities(4, theta=1.0)
+        # weights 1, 1/2, 1/3, 1/4 -> normaliser 25/12
+        assert probabilities[0] == pytest.approx(12 / 25)
+        assert probabilities[3] == pytest.approx(3 / 25)
+
+    def test_theta_zero_is_uniform(self):
+        probabilities = zipf_probabilities(5, theta=0.0)
+        assert np.allclose(probabilities, 0.2)
+
+    def test_single_support(self):
+        assert zipf_probabilities(1).tolist() == [1.0]
+
+    def test_invalid_support(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0)
+
+    def test_negative_theta_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(5, theta=-0.1)
+
+
+class TestZipfSample:
+    def test_range(self):
+        draws = zipf_sample(6, 500, seed=0)
+        assert draws.min() >= 0
+        assert draws.max() <= 5
+
+    def test_deterministic_with_seed(self):
+        assert zipf_sample(6, 50, seed=1).tolist() == zipf_sample(6, 50, seed=1).tolist()
+
+    def test_skew_toward_low_ranks(self):
+        draws = zipf_sample(10, 5000, theta=1.0, seed=2)
+        counts = np.bincount(draws, minlength=10)
+        assert counts[0] > counts[5] > 0
+
+    def test_shape_tuple(self):
+        assert zipf_sample(4, (3, 2), seed=3).shape == (3, 2)

@@ -1,0 +1,66 @@
+"""Unit tests for preference-coverage validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objects import Dataset
+from repro.core.preferences import PreferenceModel
+from repro.core.validate import missing_preference_pairs, validate_coverage
+from repro.data.procedural import HashedPreferenceModel
+from repro.errors import PreferenceError
+
+
+@pytest.fixture
+def dataset():
+    return Dataset([("a", "x"), ("b", "y"), ("c", "x")])
+
+
+class TestMissingPairs:
+    def test_reports_all_unset_pairs(self, dataset):
+        model = PreferenceModel(2)
+        model.set_preference(0, "a", "b", 0.5)
+        missing = missing_preference_pairs(model, dataset)
+        # dim 0 pairs: (a,b) set, (a,c), (b,c) missing; dim 1: (x,y) missing
+        assert (0, "a", "c") in missing
+        assert (0, "b", "c") in missing
+        assert (1, "x", "y") in missing
+        assert len(missing) == 3
+
+    def test_empty_when_fully_covered(self, dataset):
+        model = PreferenceModel(2)
+        for a, b in (("a", "b"), ("a", "c"), ("b", "c")):
+            model.set_preference(0, a, b, 0.5)
+        model.set_preference(1, "x", "y", 0.5)
+        assert missing_preference_pairs(model, dataset) == []
+
+    def test_default_policy_counts_as_covered(self, dataset):
+        assert missing_preference_pairs(PreferenceModel.equal(2), dataset) == []
+
+    def test_procedural_model_always_covered(self, dataset):
+        model = HashedPreferenceModel(2, seed=1)
+        assert missing_preference_pairs(model, dataset) == []
+
+    def test_deterministic_order(self, dataset):
+        model = PreferenceModel(2)
+        first = missing_preference_pairs(model, dataset)
+        second = missing_preference_pairs(model, dataset)
+        assert first == second
+
+    def test_dimensionality_mismatch(self, dataset):
+        with pytest.raises(PreferenceError):
+            missing_preference_pairs(PreferenceModel(3), dataset)
+
+
+class TestValidateCoverage:
+    def test_passes_when_covered(self, dataset):
+        validate_coverage(PreferenceModel.equal(2), dataset)
+
+    def test_raises_with_counts(self, dataset):
+        with pytest.raises(PreferenceError, match="4 value pair"):
+            validate_coverage(PreferenceModel(2), dataset)
+
+    def test_long_reports_truncated(self):
+        dataset = Dataset([(f"v{i}",) for i in range(8)])  # 28 pairs
+        with pytest.raises(PreferenceError, match="and 23 more"):
+            validate_coverage(PreferenceModel(1), dataset)
