@@ -28,7 +28,9 @@ from repro.core import (
     METHODS,
     AbsorptionResult,
     AllObjectsEstimate,
+    BatchResult,
     Dataset,
+    DominanceCache,
     ExactResult,
     PreferenceModel,
     PreferencePair,
@@ -37,6 +39,7 @@ from repro.core import (
     SkylineProbabilityEngine,
     SkylineReport,
     absorb,
+    batch_skyline_probabilities,
     bonferroni_bounds,
     deterministic_skyline,
     dominance_probability,
@@ -75,6 +78,9 @@ __all__ = [
     "SkylineProbabilityEngine",
     "SkylineReport",
     "METHODS",
+    "DominanceCache",
+    "BatchResult",
+    "batch_skyline_probabilities",
     "ExactResult",
     "SamplingResult",
     "AbsorptionResult",

@@ -11,16 +11,20 @@ from repro.core.bounds import (
     hoeffding_confidence,
     hoeffding_error,
     hoeffding_sample_size,
+    validate_accuracy,
 )
 from repro.core.dominance import (
+    DominanceCache,
     dominance_factors,
     dominance_probability,
     dominates_under,
     joint_dominance_probability,
 )
 from repro.core.engine import METHODS, SkylineProbabilityEngine, SkylineReport
+from repro.core.batch import BatchResult, batch_skyline_probabilities
 from repro.core.exact import (
     DEFAULT_MAX_OBJECTS,
+    DET_KERNELS,
     ExactResult,
     bonferroni_bounds,
     inclusion_exclusion_layer_sums,
@@ -86,6 +90,7 @@ __all__ = [
     "dominates_under",
     "joint_dominance_probability",
     "DEFAULT_MAX_OBJECTS",
+    "DET_KERNELS",
     "ExactResult",
     "skyline_probability_det",
     "inclusion_exclusion_layer_sums",
@@ -108,6 +113,10 @@ __all__ = [
     "SkylineProbabilityEngine",
     "SkylineReport",
     "METHODS",
+    "DominanceCache",
+    "BatchResult",
+    "batch_skyline_probabilities",
+    "validate_accuracy",
     "skyline_probability_sac",
     "skyline_probability_a1",
     "skyline_probability_a2",

@@ -1,0 +1,300 @@
+"""Batch query planner: every object's ``sky`` in one shared pass.
+
+The paper's target operator (Section 1) asks for the skyline probability
+of the *whole* dataset, yet answering it as n independent queries re-runs
+the absorption/partition preprocessing and re-resolves the same
+``(dimension, a, b)`` preference lookups O(n²·d) times.  This module
+amortises that cost across queries, the same way related work amortises
+restricted-skyline probabilities across objects:
+
+* one :class:`~repro.core.dominance.DominanceCache` is shared by every
+  query of the batch, so each distinct preference pair is resolved once
+  per batch instead of once per (query, competitor) pair — and the cache
+  is keyed on :attr:`PreferenceModel.version`, so in-place what-if edits
+  can never serve stale answers;
+* ``workers`` fans object chunks out over :mod:`concurrent.futures` — a
+  process pool when the host offers real parallelism, a thread pool when
+  it does not (single-core affinity) or when the preference model cannot
+  be pickled (procedural models built from closures);
+* sampling methods draw one child stream per *object*, spawned from the
+  batch ``seed`` via :class:`numpy.random.SeedSequence` (through
+  :func:`repro.util.rng.spawn_rngs`).  Object streams are therefore
+  statistically independent, yet fixed by ``(seed, object position)``
+  alone — the batch output is bit-for-bit identical for every ``workers``
+  and ``chunk_size`` choice.
+
+Every per-object answer is produced by the same
+:meth:`SkylineProbabilityEngine.skyline_probability` code path the serial
+loop uses, so batch results equal the per-object loop exactly (and
+bit-for-bit for the sampled methods, given the matching spawned streams).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.bounds import validate_accuracy
+from repro.core.dominance import DominanceCache
+from repro.core.engine import METHODS, SkylineProbabilityEngine, SkylineReport
+from repro.core.objects import Dataset
+from repro.core.preferences import PreferenceModel
+from repro.errors import ReproError
+from repro.util.rng import spawn_rngs
+
+__all__ = ["BatchResult", "batch_skyline_probabilities"]
+
+#: Methods that never consume randomness — no streams are spawned for them.
+_EXACT_METHODS = frozenset({"det", "det+", "naive"})
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Answers of one batch run, with full per-object provenance.
+
+    ``reports[k]`` answers ``indices[k]`` and is exactly the
+    :class:`~repro.core.engine.SkylineReport` the per-object API would
+    have produced.  ``cache_hits``/``cache_misses`` count the dominance
+    cache's memo lookups performed by this batch (summed over worker
+    processes); ``workers`` records the fan-out actually used.
+    """
+
+    indices: Tuple[int, ...]
+    reports: Tuple[SkylineReport, ...]
+    method: str
+    workers: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def probabilities(self) -> Tuple[float, ...]:
+        """Skyline probabilities in ``indices`` order."""
+        return tuple(report.probability for report in self.reports)
+
+    def as_dict(self) -> Dict[int, float]:
+        """``{object index: probability}`` mapping of the batch."""
+        return dict(zip(self.indices, self.probabilities))
+
+
+def _resolve_workers(workers: int | None, n: int) -> int:
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if isinstance(workers, bool) or not isinstance(workers, int) or workers < 1:
+        raise ReproError(
+            f"workers must be a positive integer or None (= all cores), "
+            f"got {workers!r}"
+        )
+    return max(1, min(workers, n))
+
+
+def _chunked(items: List, chunk_size: int) -> List[List]:
+    return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+
+def _model_is_picklable(preferences: PreferenceModel) -> bool:
+    try:
+        pickle.dumps(preferences)
+    except Exception:
+        return False
+    return True
+
+
+def _effective_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without affinity support
+        return os.cpu_count() or 1
+
+
+def _solve_chunk(
+    dataset: Dataset,
+    preferences: PreferenceModel,
+    max_exact_objects: int,
+    method: str,
+    query_options: dict,
+    tasks: List[Tuple[int, object]],
+) -> Tuple[List[SkylineReport], int, int]:
+    """Worker entry point: answer one chunk of (index, seed) tasks.
+
+    Top-level (picklable) on purpose.  Each worker process rebuilds a
+    lightweight engine and its own :class:`DominanceCache` — caches cannot
+    be shared across process boundaries, but a chunk-local cache still
+    amortises lookups within the chunk.  Returns the chunk's reports plus
+    its cache hit/miss counts for aggregation.
+    """
+    engine = SkylineProbabilityEngine(
+        dataset, preferences, max_exact_objects=max_exact_objects
+    )
+    cache = DominanceCache(preferences)
+    reports = [
+        engine.skyline_probability(
+            index, method=method, seed=seed, cache=cache, **query_options
+        )
+        for index, seed in tasks
+    ]
+    return reports, cache.hits, cache.misses
+
+
+def batch_skyline_probabilities(
+    engine: SkylineProbabilityEngine,
+    *,
+    method: str = "auto",
+    indices: Sequence[int] | None = None,
+    workers: int | None = 1,
+    cache: DominanceCache | None = None,
+    chunk_size: int | None = None,
+    epsilon: float = 0.01,
+    delta: float = 0.01,
+    samples: int | None = None,
+    seed: object = None,
+    use_absorption: bool = True,
+    use_partition: bool = True,
+    det_kernel: str = "fast",
+) -> BatchResult:
+    """Compute ``sky`` for all objects (or an index subset) in one pass.
+
+    Parameters
+    ----------
+    engine:
+        The engine whose dataset/preferences/budget the batch uses.
+    method:
+        Any of :data:`~repro.core.engine.METHODS`.
+    indices:
+        Object positions to answer (default: the whole dataset, in order).
+    workers:
+        Fan-out width: ``1`` (default) answers in-process, ``None`` uses
+        every core.  Object chunks go to a ``concurrent.futures`` process
+        pool; a thread pool (sharing the one dominance cache) is used
+        instead when only one core is available or when the preference
+        model cannot be pickled (procedural models closing over local
+        state).  The answers are identical for every choice.
+    cache:
+        A :class:`DominanceCache` to (re)use; by default a fresh one is
+        created for the batch.  Must have been built from ``engine``'s
+        preference model.  Worker *processes* build chunk-local caches —
+        the shared instance serves the in-process and threaded paths.
+    chunk_size:
+        Objects per worker task (default: one chunk per worker, which
+        maximises what each worker-local dominance cache can amortise;
+        pass something smaller for finer load balancing).  Affects
+        scheduling only, never the answers.
+    epsilon, delta, samples, seed, use_absorption, use_partition, det_kernel:
+        As in :meth:`SkylineProbabilityEngine.skyline_probability`.
+        ``seed`` feeds one spawned stream per object for the sampling
+        methods, so a fixed seed fixes the whole batch output.
+    """
+    if method not in METHODS:
+        raise ReproError(f"unknown method {method!r}; expected one of {METHODS}")
+    validate_accuracy(epsilon, delta, samples)
+    if chunk_size is not None and (
+        isinstance(chunk_size, bool)
+        or not isinstance(chunk_size, int)
+        or chunk_size < 1
+    ):
+        raise ReproError(
+            f"chunk_size must be a positive integer or None, got {chunk_size!r}"
+        )
+    dataset_size = len(engine.dataset)
+    if indices is None:
+        index_list = list(range(dataset_size))
+    else:
+        index_list = [int(index) for index in indices]
+        for index in index_list:
+            if not 0 <= index < dataset_size:
+                raise ReproError(
+                    f"index {index} out of range (dataset has "
+                    f"{dataset_size} objects)"
+                )
+    if cache is None:
+        cache = DominanceCache(engine.preferences)
+    elif cache.preferences is not engine.preferences:
+        raise ReproError(
+            "the supplied DominanceCache was built for a different "
+            "PreferenceModel; build it from engine.preferences"
+        )
+    n = len(index_list)
+    workers = _resolve_workers(workers, n)
+    if n == 0:
+        return BatchResult((), (), method, workers)
+
+    query_options = dict(
+        epsilon=epsilon,
+        delta=delta,
+        samples=samples,
+        use_absorption=use_absorption,
+        use_partition=use_partition,
+        det_kernel=det_kernel,
+    )
+    # One spawned stream per object: independent across objects, fixed by
+    # (seed, position) alone — chunking and worker count cannot move them.
+    if method in _EXACT_METHODS:
+        seeds: List[object] = [None] * n
+    else:
+        seeds = list(spawn_rngs(seed, n))
+    tasks = list(zip(index_list, seeds))
+
+    hits_before, misses_before = cache.hits, cache.misses
+    child_hits = 0
+    child_misses = 0
+    if workers == 1:
+        reports = [
+            engine.skyline_probability(
+                index, method=method, seed=task_seed, cache=cache, **query_options
+            )
+            for index, task_seed in tasks
+        ]
+    else:
+        if chunk_size is None:
+            chunk_size = max(1, -(-n // workers))
+        chunks = _chunked(tasks, chunk_size)
+        # Processes pay for isolation with cold chunk-local caches, which
+        # only amortises when they buy real parallelism; on a single-core
+        # host (or with an unpicklable model) threads keep the one shared
+        # cache instead.  Either way the answers are identical.
+        if _effective_cores() > 1 and _model_is_picklable(engine.preferences):
+            solve = partial(
+                _solve_chunk,
+                engine.dataset,
+                engine.preferences,
+                engine.max_exact_objects,
+                method,
+                query_options,
+            )
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(solve, chunks))
+            reports = []
+            for chunk_reports, chunk_hits, chunk_misses in outcomes:
+                reports.extend(chunk_reports)
+                child_hits += chunk_hits
+                child_misses += chunk_misses
+        else:
+            # Threads share the engine and the cache directly.  Same
+            # answers, shared memoisation.
+            def solve_local(chunk: List[Tuple[int, object]]) -> List[SkylineReport]:
+                return [
+                    engine.skyline_probability(
+                        index, method=method, seed=task_seed, cache=cache,
+                        **query_options,
+                    )
+                    for index, task_seed in chunk
+                ]
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                reports = [
+                    report
+                    for chunk_reports in pool.map(solve_local, chunks)
+                    for report in chunk_reports
+                ]
+    return BatchResult(
+        tuple(index_list),
+        tuple(reports),
+        method,
+        workers,
+        cache_hits=cache.hits - hits_before + child_hits,
+        cache_misses=cache.misses - misses_before + child_misses,
+    )

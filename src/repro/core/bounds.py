@@ -13,12 +13,15 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import EstimationError
 
 __all__ = [
     "hoeffding_sample_size",
     "hoeffding_error",
     "hoeffding_confidence",
+    "validate_accuracy",
 ]
 
 
@@ -32,6 +35,42 @@ def _check_delta(delta: float) -> float:
     if not 0 < delta < 1:
         raise EstimationError(f"delta must lie in (0, 1), got {delta!r}")
     return float(delta)
+
+
+def validate_accuracy(
+    epsilon: float, delta: float, samples: object = None
+) -> None:
+    """Fail fast on malformed Monte-Carlo accuracy parameters.
+
+    The API-boundary check behind every engine/batch query: ``epsilon``
+    and ``delta`` must lie strictly inside (0, 1) and ``samples``, when
+    given, must be a positive integer.  Raises
+    :class:`~repro.errors.EstimationError` (a :class:`ReproError`) with a
+    parameter-specific message instead of letting ``epsilon=0`` surface as
+    a division error deep inside the samplers.
+    """
+    try:
+        _check_epsilon(epsilon)
+    except TypeError:
+        raise EstimationError(
+            f"epsilon must be a number in (0, 1), got {epsilon!r}"
+        ) from None
+    try:
+        _check_delta(delta)
+    except TypeError:
+        raise EstimationError(
+            f"delta must be a number in (0, 1), got {delta!r}"
+        ) from None
+    if samples is None:
+        return
+    if (
+        isinstance(samples, bool)
+        or not isinstance(samples, (int, np.integer))
+        or samples <= 0
+    ):
+        raise EstimationError(
+            f"samples must be a positive integer or None, got {samples!r}"
+        )
 
 
 def hoeffding_sample_size(epsilon: float, delta: float) -> int:

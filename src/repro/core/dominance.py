@@ -21,11 +21,11 @@ per-object factor lists the exact algorithm and the samplers consume.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.core.objects import ObjectValues, Value
 from repro.core.preferences import PreferenceModel
-from repro.errors import DimensionalityError
+from repro.errors import DimensionalityError, PreferenceError
 
 __all__ = [
     "differing_dimensions",
@@ -34,6 +34,8 @@ __all__ = [
     "joint_dominance_probability",
     "dominates_under",
     "DominanceFactor",
+    "DominanceCache",
+    "factor_source",
 ]
 
 # One multiplicative factor of a dominance event: the probability that
@@ -121,6 +123,125 @@ def joint_dominance_probability(
                 return 0.0
             probability *= factor
     return probability
+
+
+class DominanceCache:
+    """Memoised preference lookups and dominance factors across queries.
+
+    Answering ``sky`` for *every* object of a dataset re-resolves the same
+    ``(dimension, a, b)`` preferences and the same per-pair factor lists
+    O(n²·d) times; this cache amortises them across queries.  It is safe to
+    share between :func:`~repro.core.exact.skyline_probability_det`,
+    :func:`~repro.core.sampling.skyline_probability_sampled`,
+    :func:`~repro.core.preprocess.preprocess` and the engine because the
+    cached values are pure functions of the preference model.
+
+    Staleness is detected through :attr:`PreferenceModel.version`: any
+    in-place preference edit (a what-if analysis, say) bumps the counter
+    and the next cache access drops every memoised entry, so stale answers
+    are impossible by construction.
+
+    ``hits``/``misses`` count memo-table lookups (both tables) — they are
+    bookkeeping for benchmarks and tests, not part of the answer, and are
+    only approximate under concurrent threads.
+    """
+
+    __slots__ = ("_preferences", "_version", "_prefers", "_factors", "_hits", "_misses")
+
+    def __init__(self, preferences: PreferenceModel) -> None:
+        self._preferences = preferences
+        self._version = preferences.version
+        self._prefers: Dict[Tuple[int, Value, Value], float] = {}
+        self._factors: Dict[
+            Tuple[Tuple[Value, ...], Tuple[Value, ...]], Tuple[DominanceFactor, ...]
+        ] = {}
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def preferences(self) -> PreferenceModel:
+        """The preference model whose lookups this cache memoises."""
+        return self._preferences
+
+    @property
+    def hits(self) -> int:
+        """Memo-table lookups answered without touching the model."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Memo-table lookups that had to compute and store an entry."""
+        return self._misses
+
+    @property
+    def entries(self) -> int:
+        """Currently memoised entries across both tables."""
+        return len(self._prefers) + len(self._factors)
+
+    def clear(self) -> None:
+        """Drop every memoised entry (counters are kept)."""
+        self._prefers.clear()
+        self._factors.clear()
+
+    def _validate(self) -> None:
+        version = self._preferences.version
+        if version != self._version:
+            self._prefers.clear()
+            self._factors.clear()
+            self._version = version
+
+    def prob_prefers(self, dimension: int, a: Value, b: Value) -> float:
+        """Memoised ``PreferenceModel.prob_prefers``."""
+        self._validate()
+        key = (dimension, a, b)
+        try:
+            value = self._prefers[key]
+        except KeyError:
+            self._misses += 1
+            value = self._preferences.prob_prefers(dimension, a, b)
+            self._prefers[key] = value
+            return value
+        self._hits += 1
+        return value
+
+    def dominance_factors(
+        self, q: Sequence[Value], o: Sequence[Value]
+    ) -> Tuple[DominanceFactor, ...]:
+        """Memoised :func:`dominance_factors` (returns an immutable tuple)."""
+        self._validate()
+        key = (tuple(q), tuple(o))
+        entry = self._factors.get(key)
+        if entry is not None:
+            self._hits += 1
+            return entry
+        self._misses += 1
+        _check_same_dimensionality(q, o)
+        factors = tuple(
+            (j, q[j], self.prob_prefers(j, q[j], o[j]))
+            for j in differing_dimensions(q, o)
+        )
+        self._factors[key] = factors
+        return factors
+
+
+def factor_source(
+    preferences: PreferenceModel, cache: DominanceCache | None = None
+) -> Callable[[Sequence[Value], Sequence[Value]], Sequence[DominanceFactor]]:
+    """A ``(q, o) -> factors`` callable, cache-backed when a cache is given.
+
+    Algorithms that accept an optional ``cache=`` route every factor-list
+    computation through this helper so cached and uncached runs share one
+    code path (and therefore one answer).  A cache built for a *different*
+    model is rejected — silently mixing models would corrupt results.
+    """
+    if cache is None:
+        return lambda q, o: dominance_factors(preferences, q, o)
+    if cache.preferences is not preferences:
+        raise PreferenceError(
+            "DominanceCache was built for a different PreferenceModel; "
+            "create the cache from the same model instance the query uses"
+        )
+    return cache.dominance_factors
 
 
 def dominates_under(

@@ -30,7 +30,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from repro.core.exact import DEFAULT_MAX_OBJECTS, ExactResult, skyline_probability_det
+from repro.core.bounds import validate_accuracy
+from repro.core.dominance import DominanceCache
+from repro.core.exact import (
+    DEFAULT_MAX_OBJECTS,
+    DET_KERNELS,
+    ExactResult,
+    skyline_probability_det,
+)
 from repro.core.naive import skyline_probability_naive
 from repro.core.objects import Dataset, ObjectValues, Value, as_object
 from repro.core.preferences import PreferenceModel
@@ -114,6 +121,11 @@ class SkylineProbabilityEngine:
         """The engine's preference model."""
         return self._preferences
 
+    @property
+    def max_exact_objects(self) -> int:
+        """Largest dominance-event set Algorithm 1 may enumerate."""
+        return self._max_exact_objects
+
     # ------------------------------------------------------------------
     # Single-object query
     # ------------------------------------------------------------------
@@ -128,6 +140,8 @@ class SkylineProbabilityEngine:
         seed: object = None,
         use_absorption: bool = True,
         use_partition: bool = True,
+        det_kernel: str = "fast",
+        cache: DominanceCache | None = None,
     ) -> SkylineReport:
         """``sky(target)`` by the chosen method.
 
@@ -135,13 +149,25 @@ class SkylineProbabilityEngine:
         may be outside the dataset — then the whole dataset competes).
         ``epsilon``/``delta``/``samples``/``seed`` only matter for the
         sampling methods; the ``use_*`` switches only for the ``+``/
-        ``auto`` methods (ablation hooks).
+        ``auto`` methods (ablation hooks).  ``det_kernel`` picks the
+        Algorithm 1 evaluation kernel (:data:`~repro.core.exact.DET_KERNELS`;
+        both are bit-for-bit identical, ``"reference"`` is the slower
+        seed transcription kept for differential testing).  ``cache`` is
+        an optional :class:`~repro.core.dominance.DominanceCache` shared
+        across queries (see :meth:`skyline_probabilities`); it never
+        changes the answer.
         """
         competitors, target_values = self._resolve_target(target)
         if method not in METHODS:
             raise ReproError(
                 f"unknown method {method!r}; expected one of {METHODS}"
             )
+        if det_kernel not in DET_KERNELS:
+            raise ReproError(
+                f"unknown det_kernel {det_kernel!r}; "
+                f"expected one of {DET_KERNELS}"
+            )
+        validate_accuracy(epsilon, delta, samples)
         cache_key = (
             target_values,
             method,
@@ -156,6 +182,7 @@ class SkylineProbabilityEngine:
             competitors, target_values, method,
             epsilon=epsilon, delta=delta, samples=samples, seed=seed,
             use_absorption=use_absorption, use_partition=use_partition,
+            det_kernel=det_kernel, cache=cache,
         )
         if report.exact:
             self._exact_cache[cache_key] = report
@@ -177,6 +204,8 @@ class SkylineProbabilityEngine:
         seed: object,
         use_absorption: bool,
         use_partition: bool,
+        det_kernel: str = "fast",
+        cache: DominanceCache | None = None,
     ) -> SkylineReport:
         if method == "det":
             result = skyline_probability_det(
@@ -184,6 +213,8 @@ class SkylineProbabilityEngine:
                 competitors,
                 target_values,
                 max_objects=self._max_exact_objects,
+                kernel=det_kernel,
+                cache=cache,
             )
             return SkylineReport(
                 result.probability, "det", True, partition_results=(result,)
@@ -202,6 +233,7 @@ class SkylineProbabilityEngine:
                 delta=delta,
                 samples=samples,
                 seed=seed,
+                cache=cache,
             )
             return SkylineReport(
                 result.estimate,
@@ -216,12 +248,13 @@ class SkylineProbabilityEngine:
             preferences=self._preferences,
             use_absorption=use_absorption,
             use_partition=use_partition,
+            cache=cache,
         )
         if method == "det+":
             return self._solve_partitions(
                 competitors, target_values, prep, allow_sampling=False,
                 epsilon=epsilon, delta=delta, samples=samples, seed=seed,
-                method_name="det+",
+                method_name="det+", det_kernel=det_kernel, cache=cache,
             )
         if method == "sam+":
             kept = [competitors[i] for i in prep.kept_indices]
@@ -233,6 +266,7 @@ class SkylineProbabilityEngine:
                 delta=delta,
                 samples=samples,
                 seed=seed,
+                cache=cache,
             )
             return SkylineReport(
                 result.estimate,
@@ -246,7 +280,7 @@ class SkylineProbabilityEngine:
         return self._solve_partitions(
             competitors, target_values, prep, allow_sampling=True,
             epsilon=epsilon, delta=delta, samples=samples, seed=seed,
-            method_name="auto",
+            method_name="auto", det_kernel=det_kernel, cache=cache,
         )
 
     def _solve_partitions(
@@ -261,6 +295,8 @@ class SkylineProbabilityEngine:
         samples: int | None,
         seed: object,
         method_name: str,
+        det_kernel: str = "fast",
+        cache: DominanceCache | None = None,
     ) -> SkylineReport:
         """Multiply per-partition results per Theorem 4.
 
@@ -298,6 +334,8 @@ class SkylineProbabilityEngine:
                     group,
                     target_values,
                     max_objects=self._max_exact_objects,
+                    kernel=det_kernel,
+                    cache=cache,
                 )
                 probability *= result.probability
             else:
@@ -309,6 +347,7 @@ class SkylineProbabilityEngine:
                     delta=delta / share,
                     samples=samples,
                     seed=rng,
+                    cache=cache,
                 )
                 probability *= result.estimate
                 total_samples += result.samples
@@ -333,15 +372,34 @@ class SkylineProbabilityEngine:
         *,
         method: str = "auto",
         indices: Sequence[int] | None = None,
+        workers: int | None = 1,
+        cache: DominanceCache | None = None,
+        chunk_size: int | None = None,
         **query_options: object,
     ) -> List[float]:
-        """``sky`` for every object (or a subset of indices), in order."""
-        if indices is None:
-            indices = range(len(self._dataset))
-        return [
-            self.skyline_probability(index, method=method, **query_options).probability
-            for index in indices
-        ]
+        """``sky`` for every object (or a subset of indices), in order.
+
+        Answered by the batch planner (:mod:`repro.core.batch`): one
+        shared :class:`~repro.core.dominance.DominanceCache` amortises
+        preference lookups across all queries, and ``workers`` fans object
+        chunks out over a process pool (``workers=None`` uses every core;
+        a thread pool is substituted when the model cannot be pickled).
+        Sampling methods draw one spawned, per-object random stream from
+        ``seed``, so the output is identical for every ``workers``/
+        ``chunk_size`` choice.
+        """
+        from repro.core.batch import batch_skyline_probabilities
+
+        result = batch_skyline_probabilities(
+            self,
+            method=method,
+            indices=indices,
+            workers=workers,
+            cache=cache,
+            chunk_size=chunk_size,
+            **query_options,
+        )
+        return list(result.probabilities)
 
     def probabilistic_skyline(
         self,
@@ -352,9 +410,10 @@ class SkylineProbabilityEngine:
     ) -> List[int]:
         """Indices of objects with ``sky ≥ τ`` (the probabilistic skyline).
 
-        This is the paper's target operator (Section 1); it simply runs
-        the single-object query for every object, as the paper prescribes
-        for the general case.
+        This is the paper's target operator (Section 1); it evaluates the
+        single-object query for every object, as the paper prescribes for
+        the general case, through the shared-cache batch planner
+        (``workers=``/``cache=`` are accepted and forwarded).
         """
         if not 0 < tau <= 1:
             raise ReproError(f"threshold tau must lie in (0, 1], got {tau!r}")
@@ -375,7 +434,8 @@ class SkylineProbabilityEngine:
         """The ``k`` objects with the highest skyline probability.
 
         Returns ``(index, probability)`` pairs, descending by probability
-        (ties broken by index for determinism).  See
+        (ties broken by index for determinism).  Evaluated through the
+        batch planner (``workers=``/``cache=`` forwarded); see
         :mod:`repro.core.topk` for the shared-world estimator that scales
         this to large datasets.
         """

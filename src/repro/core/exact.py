@@ -36,13 +36,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.core.dominance import DominanceFactor, dominance_factors
+from repro.core.dominance import DominanceCache, DominanceFactor, factor_source
 from repro.core.objects import Value
 from repro.core.preferences import PreferenceModel
 from repro.errors import ComputationBudgetError
 
 __all__ = [
     "DEFAULT_MAX_OBJECTS",
+    "DET_KERNELS",
     "ExactResult",
     "skyline_probability_det",
     "inclusion_exclusion_layer_sums",
@@ -51,6 +52,14 @@ __all__ = [
 
 #: Refuse to enumerate more than 2^DEFAULT_MAX_OBJECTS subsets by default.
 DEFAULT_MAX_OBJECTS = 25
+
+#: Evaluation kernels for the shared-computation traversal.  Both perform
+#: the *same* float operations in the same order, so their results are
+#: bit-for-bit identical (differentially tested); "fast" trims interpreter
+#: overhead (no per-term budget check, inlined leaf level, analytic term
+#: count), "reference" is the original direct transcription of Algorithm 1
+#: kept as the differential-testing and benchmarking baseline.
+DET_KERNELS = ("fast", "reference")
 
 
 @dataclass(frozen=True)
@@ -78,7 +87,8 @@ def _prepare_factor_lists(
     preferences: PreferenceModel,
     competitors: Sequence[Sequence[Value]],
     target: Sequence[Value],
-) -> List[List[DominanceFactor]] | None:
+    cache: DominanceCache | None = None,
+) -> List[Sequence[DominanceFactor]] | None:
     """Factor lists of competitors that can dominate ``target`` at all.
 
     Returns ``None`` when some competitor duplicates ``target`` (then it
@@ -86,9 +96,10 @@ def _prepare_factor_lists(
     Competitors with any zero factor are dropped: every subset containing
     them has ``Pr(E_I) = 0``.
     """
-    factor_lists: List[List[DominanceFactor]] = []
+    factors_of = factor_source(preferences, cache)
+    factor_lists: List[Sequence[DominanceFactor]] = []
     for q in competitors:
-        factors = dominance_factors(preferences, q, target)
+        factors = factors_of(q, target)
         if not factors:
             return None
         if any(probability == 0.0 for _, _, probability in factors):
@@ -109,6 +120,8 @@ def skyline_probability_det(
     max_objects: int = DEFAULT_MAX_OBJECTS,
     max_terms: int | None = None,
     share_computation: bool = True,
+    kernel: str = "fast",
+    cache: DominanceCache | None = None,
 ) -> ExactResult:
     """Exact ``sky(target)`` against ``competitors`` (Algorithm 1).
 
@@ -125,12 +138,26 @@ def skyline_probability_det(
         :class:`ComputationBudgetError` (use preprocessing or sampling).
     max_terms:
         Optional guard on the number of inclusion-exclusion terms visited.
+        Per-term accounting needs the reference traversal, so a set
+        ``max_terms`` implies ``kernel="reference"``.
     share_computation:
         ``True`` (default) uses the paper's O(d)-per-term sharing scheme;
         ``False`` recomputes every ``Pr(E_I)`` from scratch — only useful
         as the ablation baseline for the sharing technique.
+    kernel:
+        One of :data:`DET_KERNELS`.  ``"fast"`` (default) and
+        ``"reference"`` run the identical float-operation sequence and
+        return bit-for-bit equal results; ``"reference"`` is the original
+        transcription kept as the differential-test / benchmark baseline.
+    cache:
+        Optional :class:`~repro.core.dominance.DominanceCache` shared
+        across queries (batch evaluation); never changes the answer.
     """
-    factor_lists = _prepare_factor_lists(preferences, competitors, target)
+    if kernel not in DET_KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {DET_KERNELS}"
+        )
+    factor_lists = _prepare_factor_lists(preferences, competitors, target, cache)
     if factor_lists is None:
         return ExactResult(0.0, 0, len(competitors))
     n = len(factor_lists)
@@ -142,10 +169,20 @@ def skyline_probability_det(
         )
     if not share_computation:
         return _det_without_sharing(factor_lists, max_terms)
+    if kernel == "reference" or max_terms is not None:
+        return _det_shared_reference(factor_lists, max_terms)
+    return _det_shared_fast(factor_lists)
 
-    # Factor keys become dense integer ids so the hot DFS uses plain list
-    # indexing for the reference counts (the dict version profiles ~2x
-    # slower on large partition workloads).
+
+def _index_factors(
+    factor_lists: List[Sequence[DominanceFactor]],
+) -> Tuple[List[Tuple[Tuple[int, ...], Tuple[float, ...]]], int]:
+    """Dense integer ids for the distinct ``(dimension, value)`` keys.
+
+    The hot traversals then keep their reference counts in a plain list
+    (the dict version profiles ~2x slower on large partition workloads).
+    Returns the per-object ``(ids, probs)`` pairs plus the key count.
+    """
     key_ids: Dict[Tuple[int, Value], int] = {}
     object_factors: List[Tuple[Tuple[int, ...], Tuple[float, ...]]] = []
     for factors in factor_lists:
@@ -157,7 +194,22 @@ def skyline_probability_det(
             ids.append(identifier)
             probs.append(factor)
         object_factors.append((tuple(ids), tuple(probs)))
-    counts = [0] * len(key_ids)
+    return object_factors, len(key_ids)
+
+
+def _det_shared_reference(
+    factor_lists: List[Sequence[DominanceFactor]],
+    max_terms: int | None,
+) -> ExactResult:
+    """Algorithm 1 with sharing, as originally transcribed.
+
+    This is the baseline the fast kernel is differentially tested against
+    and the "seed serial loop" timed by the batch benchmark; it also hosts
+    the ``max_terms`` budget guard, which needs per-term accounting.
+    """
+    n = len(factor_lists)
+    object_factors, key_count = _index_factors(factor_lists)
+    counts = [0] * key_count
     # `total` accumulates Σ_{I≠∅} (-1)^{|I|} Pr(E_I); sky = 1 + total.
     total = 0.0
     terms = 0
@@ -184,6 +236,108 @@ def skyline_probability_det(
 
     visit(0, 1.0, -1.0)
     return ExactResult(_clamp_probability(1.0 + total), terms, n)
+
+
+def _det_shared_fast(
+    factor_lists: List[Sequence[DominanceFactor]],
+) -> ExactResult:
+    """Interpreter-lean twin of :func:`_det_shared_reference`.
+
+    Performs the *same multiplications and additions in the same order* —
+    results are bit-for-bit identical — but sheds per-term overhead: the
+    leaf level of the subset lattice is inlined (it needs no reference
+    counting because nothing reads the counts after it), factor pairs are
+    pre-zipped, the hot names are locals, and the visited-term count is
+    derived analytically from the zero-pruned subtree sizes instead of a
+    per-term counter.
+    """
+    n = len(factor_lists)
+    if n == 0:
+        return ExactResult(1.0, 0, 0)
+    object_factors, key_count = _index_factors(factor_lists)
+    object_pairs = [tuple(zip(ids, probs)) for ids, probs in object_factors]
+    object_ids = [ids for ids, _ in object_factors]
+    counts = [0] * key_count
+    total = 0.0
+    pruned = 0
+    last = n - 1
+
+    def visit(
+        start: int,
+        probability: float,
+        sign: float,
+        object_pairs: List[Tuple[Tuple[int, float], ...]] = object_pairs,
+        object_ids: List[Tuple[int, ...]] = object_ids,
+        counts: List[int] = counts,
+        last: int = last,
+        last_pairs: Tuple[Tuple[int, float], ...] = object_pairs[-1],
+    ) -> None:
+        nonlocal total, pruned
+        for i in range(start, last):
+            extended = probability
+            pairs = object_pairs[i]
+            for identifier, factor in pairs:
+                if counts[identifier] == 0:
+                    extended *= factor
+                counts[identifier] += 1
+            total += sign * extended
+            if extended > 0.0:
+                if i + 1 == last:
+                    # Bottom level unrolled: a visit(last, ...) call would
+                    # only run the leaf tail below.  ``-(sign * x)`` and
+                    # ``(-sign) * x`` are the same IEEE value, so the
+                    # subtraction keeps the float stream bit-identical.
+                    tail = extended
+                    for identifier, factor in last_pairs:
+                        if counts[identifier] == 0:
+                            tail *= factor
+                    total -= sign * tail
+                elif i + 2 == last:
+                    # Second-to-bottom level unrolled the same way (the
+                    # child visits exactly object last-1, then its leaf);
+                    # every child sign flip folds into +/- on ``sign``.
+                    deeper = extended
+                    for identifier, factor in object_pairs[last - 1]:
+                        if counts[identifier] == 0:
+                            deeper *= factor
+                        counts[identifier] += 1
+                    total -= sign * deeper
+                    if deeper > 0.0:
+                        tail = deeper
+                        for identifier, factor in last_pairs:
+                            if counts[identifier] == 0:
+                                tail *= factor
+                        total += sign * tail
+                    else:
+                        pruned += 1
+                    for identifier in object_ids[last - 1]:
+                        counts[identifier] -= 1
+                    tail = extended
+                    for identifier, factor in last_pairs:
+                        if counts[identifier] == 0:
+                            tail *= factor
+                    total -= sign * tail
+                else:
+                    visit(i + 1, extended, -sign)
+            else:
+                # The skipped subtree holds 2^(last-i) - 1 subsets, all
+                # with Pr(E_I) = 0 — the reference kernel skips it too.
+                pruned += (1 << (last - i)) - 1
+            for identifier in object_ids[i]:
+                counts[identifier] -= 1
+        # Leaf level (i == last): no recursion follows, so the reference
+        # counts need not be touched — each factor key appears at most
+        # once per object, making the count-is-zero test increment-free.
+        extended = probability
+        for identifier, factor in object_pairs[last]:
+            if counts[identifier] == 0:
+                extended *= factor
+        total += sign * extended
+
+    visit(0, 1.0, -1.0)
+    return ExactResult(
+        _clamp_probability(1.0 + total), (1 << n) - 1 - pruned, n
+    )
 
 
 def _det_without_sharing(

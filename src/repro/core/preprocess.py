@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set, Tuple
 
-from repro.core.dominance import dominance_factors
+from repro.core.dominance import DominanceCache, factor_source
 from repro.core.objects import ObjectValues, Value, as_object
 from repro.core.preferences import PreferenceModel
 from repro.errors import DatasetError
@@ -155,6 +155,8 @@ def drop_never_dominators(
     competitors: Sequence[Sequence[Value]],
     target: Sequence[Value],
     indices: Sequence[int] | None = None,
+    *,
+    cache: DominanceCache | None = None,
 ) -> Tuple[List[int], List[int]]:
     """Split positions into (possible dominators, impossible ones).
 
@@ -163,12 +165,13 @@ def drop_never_dominators(
     union (Equation 3) nor the partition structure it would otherwise
     pollute.
     """
+    factors_of = factor_source(preferences, cache)
     if indices is None:
         indices = range(len(competitors))
     possible: List[int] = []
     impossible: List[int] = []
     for position in indices:
-        factors = dominance_factors(preferences, competitors[position], target)
+        factors = factors_of(competitors[position], target)
         if any(probability == 0.0 for _, _, probability in factors):
             impossible.append(position)
         else:
@@ -218,6 +221,7 @@ def preprocess(
     preferences: PreferenceModel | None = None,
     use_absorption: bool = True,
     use_partition: bool = True,
+    cache: DominanceCache | None = None,
 ) -> PreprocessResult:
     """Run the paper's preprocessing pipeline for one target object.
 
@@ -241,7 +245,7 @@ def preprocess(
     dropped: Tuple[int, ...] = ()
     if preferences is not None:
         possible, impossible = drop_never_dominators(
-            preferences, competitors, target, kept
+            preferences, competitors, target, kept, cache=cache
         )
         kept, dropped = possible, tuple(impossible)
     if use_partition:

@@ -34,7 +34,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.core.bounds import hoeffding_error, hoeffding_sample_size
-from repro.core.dominance import dominance_factors
+from repro.core.dominance import DominanceCache, factor_source
 from repro.core.objects import Value
 from repro.core.preferences import PreferenceModel
 from repro.errors import EstimationError
@@ -111,12 +111,14 @@ def _prepare(
     competitors: Sequence[Sequence[Value]],
     target: Sequence[Value],
     sort_by_dominance: bool,
+    cache: DominanceCache | None = None,
 ) -> _Prepared:
+    factors_of = factor_source(preferences, cache)
     variable_index: Dict[Tuple[int, Value], int] = {}
     probabilities: List[float] = []
     entries: List[Tuple[float, Tuple[int, ...]]] = []
     for q in competitors:
-        factors = dominance_factors(preferences, q, target)
+        factors = factors_of(q, target)
         if not factors:
             return _Prepared([], [], True)
         marginal = 1.0
@@ -172,6 +174,7 @@ def skyline_probability_sampled(
     method: str = "auto",
     sort_by_dominance: bool = True,
     chunk_size: int = _DEFAULT_CHUNK_SIZE,
+    cache: DominanceCache | None = None,
 ) -> SamplingResult:
     """Estimate ``sky(target)`` by Monte-Carlo world sampling (Algorithm 2).
 
@@ -193,9 +196,13 @@ def skyline_probability_sampled(
         ``False`` only for the ablation benchmark.
     chunk_size:
         Worlds per NumPy batch for the vectorized sampler.
+    cache:
+        Optional :class:`~repro.core.dominance.DominanceCache` shared
+        across queries; only the factor preparation reads it, so the
+        estimator's distribution (and seeded stream) is unchanged.
     """
     sample_count = _resolve_sample_size(samples, epsilon, delta)
-    prepared = _prepare(preferences, competitors, target, sort_by_dominance)
+    prepared = _prepare(preferences, competitors, target, sort_by_dominance, cache)
     if prepared.certain_dominator:
         return SamplingResult(0.0, sample_count, 0, "closed-form", 0)
     if not prepared.competitor_pairs:
@@ -359,6 +366,7 @@ def skyline_probability_sequential(
     batch_size: int = 256,
     seed: object = None,
     sort_by_dominance: bool = True,
+    cache: DominanceCache | None = None,
 ) -> SamplingResult:
     """Adaptive extension of ``Sam``: stop as soon as the CI is tight.
 
@@ -371,7 +379,7 @@ def skyline_probability_sequential(
         raise EstimationError(f"batch_size must be positive, got {batch_size!r}")
     ceiling = hoeffding_sample_size(epsilon, delta)
     max_batches = -(-ceiling // batch_size)  # ceil division
-    prepared = _prepare(preferences, competitors, target, sort_by_dominance)
+    prepared = _prepare(preferences, competitors, target, sort_by_dominance, cache)
     if prepared.certain_dominator:
         return SamplingResult(0.0, batch_size, 0, "closed-form", 0)
     if not prepared.competitor_pairs:

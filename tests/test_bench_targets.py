@@ -1,10 +1,15 @@
-"""Tests for the experiment harness's target-selection helpers."""
+"""Tests for the experiment harness's target-selection helpers and the
+importability/smoke behaviour of the benchmark suite additions."""
 
 from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
 
 import pytest
 
 from repro.bench.experiments import _interesting_targets, _pick_targets
+from repro.bench.harness import get_experiment
 from repro.core.engine import SkylineProbabilityEngine
 from repro.data.blockzipf import block_zipf_dataset
 from repro.data.examples import running_example
@@ -58,3 +63,34 @@ class TestInterestingTargets:
             dataset, HashedPreferenceModel(3, seed=10)
         )
         assert len(_interesting_targets(engine, 5, seed=11)) == 5
+
+
+def _load_benchmark_module(name):
+    """Import a bench_* file by path (benchmarks/ is not a package)."""
+    path = Path(__file__).resolve().parent.parent / "benchmarks" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestParallelBatchBenchmark:
+    def test_benchmark_module_importable(self):
+        module = _load_benchmark_module("bench_parallel_batch")
+        assert callable(module.serial_seed_loop)
+        assert callable(module.batch_with_cache)
+
+    def test_helpers_agree_on_tiny_workload(self):
+        module = _load_benchmark_module("bench_parallel_batch")
+        dataset, preferences = module.make_workload(n=12, d=3)
+        serial = module.serial_seed_loop(dataset, preferences)
+        assert module.batch_with_cache(dataset, preferences) == serial
+        assert module.batch_with_cache(dataset, preferences, workers=2) == serial
+
+    def test_experiment_registered_and_smoke_runs(self):
+        experiment = get_experiment("parallel_batch")
+        (table,) = experiment.run("quick")
+        rows = {row["configuration"]: row for row in table.rows}
+        assert "serial loop (seed)" in rows
+        assert all(row["identical"] for row in rows.values())
+        assert rows["batch, workers=1"]["speedup vs serial"] > 1.0

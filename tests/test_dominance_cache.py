@@ -1,0 +1,155 @@
+"""Tests for the shared dominance-probability cache (satellite 3).
+
+The cache's contract: it memoises ``prob_prefers`` and per-pair factor
+lists, counts its hit/miss traffic, never changes any answer, and — keyed
+on :attr:`PreferenceModel.version` — can never serve a stale entry after
+an in-place what-if edit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import batch_skyline_probabilities
+from repro.core.dominance import (
+    DominanceCache,
+    dominance_factors,
+    factor_source,
+)
+from repro.core.engine import SkylineProbabilityEngine
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.examples import running_example
+from repro.data.procedural import HashedPreferenceModel
+from repro.errors import PreferenceError
+
+
+@pytest.fixture
+def space():
+    dataset, preferences = running_example()
+    return dataset, preferences
+
+
+class TestAccounting:
+    def test_miss_then_hit(self, space):
+        dataset, preferences = space
+        cache = DominanceCache(preferences)
+        first = cache.dominance_factors(dataset[1], dataset[0])
+        assert cache.misses > 0
+        misses_after_first = cache.misses
+        second = cache.dominance_factors(dataset[1], dataset[0])
+        assert second == first
+        assert cache.misses == misses_after_first
+        assert cache.hits >= 1
+
+    def test_prob_prefers_memoised(self, space):
+        _, preferences = space
+        cache = DominanceCache(preferences)
+        value = preferences.prob_prefers(0, "x1", "o1")
+        assert cache.prob_prefers(0, "x1", "o1") == value
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert cache.prob_prefers(0, "x1", "o1") == value
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_entries_and_clear(self, space):
+        dataset, preferences = space
+        cache = DominanceCache(preferences)
+        cache.dominance_factors(dataset[1], dataset[0])
+        assert cache.entries > 0
+        traffic = cache.hits + cache.misses
+        cache.clear()
+        assert cache.entries == 0
+        # counters survive a clear; only the memo tables are dropped
+        assert cache.hits + cache.misses == traffic
+
+    def test_factors_match_uncached_function(self, space):
+        dataset, preferences = space
+        cache = DominanceCache(preferences)
+        for q in dataset:
+            for o in dataset:
+                if q == o:
+                    continue
+                assert cache.dominance_factors(q, o) == tuple(
+                    dominance_factors(preferences, q, o)
+                )
+
+
+class TestInvalidation:
+    def test_mutation_drops_stale_entries(self, space):
+        dataset, preferences = space
+        cache = DominanceCache(preferences)
+        before = cache.dominance_factors(dataset[1], dataset[0])
+        preferences.set_preference(0, "x1", "o1", 0.9, 0.05)
+        after = cache.dominance_factors(dataset[1], dataset[0])
+        assert after == tuple(dominance_factors(preferences, dataset[1], dataset[0]))
+        assert after != before
+
+    def test_what_if_edit_never_serves_stale_skyline(self, space):
+        """The what-if pattern: edit a preference in place mid-session."""
+        dataset, preferences = space
+        cache = DominanceCache(preferences)
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        original = batch_skyline_probabilities(
+            engine, method="det+", cache=cache
+        ).probabilities
+        preferences.set_preference(0, "x1", "o1", 0.99, 0.01)
+        edited = batch_skyline_probabilities(
+            engine, method="det+", cache=cache
+        ).probabilities
+        # ground truth from a cold engine with no cache at all
+        fresh = SkylineProbabilityEngine(dataset, preferences)
+        expected = tuple(
+            fresh.skyline_probability(i, method="det+").probability
+            for i in range(len(dataset))
+        )
+        assert edited == expected
+        assert edited != original
+
+
+class TestNeverChangesAnswers:
+    @pytest.mark.parametrize("method", ["det", "det+", "sam+", "auto"])
+    def test_cached_batch_equals_uncached_batch(self, method):
+        dataset = block_zipf_dataset(16, 3, seed=14)
+        preferences = HashedPreferenceModel(3, seed=15)
+        options = {"samples": 60} if method == "sam+" else {}
+        uncached = batch_skyline_probabilities(
+            SkylineProbabilityEngine(dataset, preferences),
+            method=method,
+            seed=3,
+            **options,
+        )
+        cache = DominanceCache(preferences)
+        cached = batch_skyline_probabilities(
+            SkylineProbabilityEngine(dataset, preferences),
+            method=method,
+            seed=3,
+            cache=cache,
+            **options,
+        )
+        assert cached.probabilities == uncached.probabilities
+        assert cache.hits > 0
+
+    def test_per_object_query_accepts_cache(self, space):
+        dataset, preferences = space
+        cache = DominanceCache(preferences)
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        plain = SkylineProbabilityEngine(dataset, preferences)
+        for i in range(len(dataset)):
+            assert (
+                engine.skyline_probability(i, method="det+", cache=cache).probability
+                == plain.skyline_probability(i, method="det+").probability
+            )
+
+
+class TestFactorSource:
+    def test_uncached_source_is_plain_function(self, space):
+        dataset, preferences = space
+        source = factor_source(preferences, None)
+        assert tuple(source(dataset[1], dataset[0])) == tuple(
+            dominance_factors(preferences, dataset[1], dataset[0])
+        )
+
+    def test_foreign_cache_rejected(self, space):
+        _, preferences = space
+        foreign = DominanceCache(HashedPreferenceModel(2, seed=8))
+        with pytest.raises(PreferenceError, match="different"):
+            factor_source(preferences, foreign)

@@ -62,3 +62,53 @@ class TestHierarchy:
 
         with pytest.raises(ReproError):
             Dataset([])
+
+
+class TestAccuracyValidation:
+    """Malformed ε/δ/samples fail fast at the engine boundary, not deep
+    inside the samplers as a division error."""
+
+    @pytest.fixture
+    def engine(self):
+        from repro.core.engine import SkylineProbabilityEngine
+        from repro.data.examples import running_example
+
+        dataset, preferences = running_example()
+        return SkylineProbabilityEngine(dataset, preferences)
+
+    @pytest.mark.parametrize("epsilon", [0, 1, 1.5, -0.2, "x", None])
+    def test_bad_epsilon(self, engine, epsilon):
+        with pytest.raises(EstimationError, match="epsilon"):
+            engine.skyline_probability(0, method="sam", epsilon=epsilon)
+
+    @pytest.mark.parametrize("delta", [0, 1, 2.0, -1, "y", None])
+    def test_bad_delta(self, engine, delta):
+        with pytest.raises(EstimationError, match="delta"):
+            engine.skyline_probability(0, method="sam", delta=delta)
+
+    @pytest.mark.parametrize("samples", [0, -5, 2.5, "many", True])
+    def test_bad_samples(self, engine, samples):
+        with pytest.raises(EstimationError, match="samples"):
+            engine.skyline_probability(0, method="sam", samples=samples)
+
+    def test_exact_methods_validate_too(self, engine):
+        # the parameters are unused by "det" but still checked, so a typo
+        # cannot silently pass through an exact query
+        with pytest.raises(EstimationError, match="epsilon"):
+            engine.skyline_probability(0, method="det", epsilon=0)
+
+    def test_batch_path_validates(self, engine):
+        with pytest.raises(EstimationError, match="delta"):
+            engine.skyline_probabilities(method="sam", delta=1)
+
+    def test_catchable_as_repro_error(self, engine):
+        with pytest.raises(ReproError):
+            engine.skyline_probability(0, method="sam", samples=-1)
+
+    def test_validate_accuracy_accepts_numpy_integers(self):
+        import numpy as np
+
+        from repro.core.bounds import validate_accuracy
+
+        validate_accuracy(0.05, 0.05, np.int64(100))
+        validate_accuracy(0.5, 0.5, None)

@@ -1,0 +1,158 @@
+"""Differential tests for the Algorithm 1 evaluation kernels.
+
+``skyline_probability_det`` ships two kernels for the shared-computation
+traversal: the original recursive transcription (``"reference"``) and an
+interpreter-lean rewrite (``"fast"``, the default).  The fast kernel must
+perform the same float operations in the same order, so every result —
+probability, visited-term count, objects used — must be bit-for-bit equal.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.exact import (
+    DET_KERNELS,
+    skyline_probability_det,
+)
+from repro.core.engine import SkylineProbabilityEngine
+from repro.core.preferences import PreferenceModel
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.examples import observation_example, running_example
+from repro.data.procedural import HashedPreferenceModel
+from repro.errors import ComputationBudgetError, ReproError
+
+from strategies import disjoint_instance, uncertain_instance
+
+
+def _both_kernels(preferences, competitors, target, **options):
+    return (
+        skyline_probability_det(
+            preferences, competitors, target, kernel="fast", **options
+        ),
+        skyline_probability_det(
+            preferences, competitors, target, kernel="reference", **options
+        ),
+    )
+
+
+class TestBitForBitEquality:
+    @pytest.mark.parametrize("example", [running_example, observation_example])
+    def test_paper_examples(self, example):
+        dataset, preferences = example()
+        for index in range(len(dataset)):
+            fast, reference = _both_kernels(
+                preferences, list(dataset.others(index)), dataset[index]
+            )
+            assert fast == reference
+
+    def test_blockzipf_partitions(self):
+        dataset = block_zipf_dataset(40, 3, seed=20)
+        preferences = HashedPreferenceModel(3, seed=21)
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        for index in range(0, 40, 5):
+            report = engine.skyline_probability(index, method="det+")
+            prep = report.preprocessing
+            competitors = list(dataset.others(index))
+            for part in prep.partitions:
+                group = [competitors[i] for i in part]
+                fast, reference = _both_kernels(
+                    preferences, group, dataset[index]
+                )
+                assert fast == reference
+
+    @given(uncertain_instance())
+    @settings(max_examples=40, deadline=None)
+    def test_random_spaces(self, instance):
+        preferences, competitors, target = instance
+        fast, reference = _both_kernels(preferences, competitors, target)
+        assert fast == reference
+
+    @given(disjoint_instance())
+    @settings(max_examples=30, deadline=None)
+    def test_random_disjoint_spaces_with_zero_pruning(self, instance):
+        # disjoint instances draw 0.0 preference probabilities, which
+        # exercises both the never-dominator filter and zero-subtree
+        # pruning (the analytic term count must match the visited count)
+        preferences, competitors, target = instance
+        fast, reference = _both_kernels(preferences, competitors, target)
+        assert fast == reference
+
+    def test_all_competitors_filtered(self):
+        # a single competitor that can never dominate: n drops to 0 and
+        # both kernels must report the certain skyline
+        preferences = PreferenceModel(1)
+        preferences.set_preference(0, "a", "o", 0.0)
+        fast, reference = _both_kernels(preferences, [("a",)], ("o",))
+        assert fast == reference
+        assert fast.probability == 1.0
+        assert fast.terms_evaluated == 0
+
+    def test_engine_kernels_agree_end_to_end(self):
+        dataset = block_zipf_dataset(25, 3, seed=22)
+        preferences = HashedPreferenceModel(3, seed=23)
+        default = SkylineProbabilityEngine(dataset, preferences)
+        pinned = SkylineProbabilityEngine(dataset, preferences)
+        for index in range(len(dataset)):
+            assert default.skyline_probability(
+                index, method="det+"
+            ) == pinned.skyline_probability(
+                index, method="det+", det_kernel="reference"
+            )
+
+
+class TestBudgetsAndValidation:
+    def test_max_terms_guard_applies_to_both(self):
+        dataset, preferences = running_example()
+        for kernel in DET_KERNELS:
+            with pytest.raises(ComputationBudgetError, match="max_terms"):
+                skyline_probability_det(
+                    preferences,
+                    list(dataset.others(0)),
+                    dataset[0],
+                    max_terms=2,
+                    kernel=kernel,
+                )
+
+    def test_max_objects_guard_applies_to_both(self):
+        dataset = block_zipf_dataset(40, 3, seed=24)
+        preferences = HashedPreferenceModel(3, seed=25)
+        for kernel in DET_KERNELS:
+            with pytest.raises(ComputationBudgetError, match="max_objects"):
+                skyline_probability_det(
+                    preferences,
+                    list(dataset.others(0)),
+                    dataset[0],
+                    max_objects=5,
+                    kernel=kernel,
+                )
+
+    def test_unknown_kernel_rejected(self):
+        dataset, preferences = running_example()
+        with pytest.raises(ValueError, match="kernel"):
+            skyline_probability_det(
+                preferences, list(dataset.others(0)), dataset[0], kernel="gpu"
+            )
+
+    def test_engine_rejects_unknown_kernel(self):
+        dataset, preferences = running_example()
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        with pytest.raises(ReproError, match="det_kernel"):
+            engine.skyline_probability(0, det_kernel="gpu")
+
+    def test_sharing_ablation_unaffected(self):
+        # share_computation=False bypasses the kernels entirely; the
+        # ablation baseline must still agree on the probability
+        dataset, preferences = running_example()
+        unshared = skyline_probability_det(
+            preferences,
+            list(dataset.others(0)),
+            dataset[0],
+            share_computation=False,
+        )
+        fast, reference = _both_kernels(
+            preferences, list(dataset.others(0)), dataset[0]
+        )
+        assert unshared.probability == pytest.approx(fast.probability, abs=1e-12)
+        assert fast == reference
