@@ -1,0 +1,87 @@
+"""Benchmark: happy-path cost of the batch planner's fault tolerance.
+
+The robustness layer (per-task retry wrapper, salvage accounting, the
+fault-injector hook, deadline plumbing) must be effectively free when
+nothing fails: the acceptance bar is **under 5% overhead** against the
+pre-robustness planner path — a shared-cache per-object loop over
+``engine.skyline_probability``, which is exactly what the planner's
+serial path executed before this layer existed.
+
+The armed-deadline row is the one configuration that legitimately pays
+more: a wall-clock deadline routes exact work through the ``"reference"``
+Det kernel (per-term accounting, bit-for-bit the same answer), so its
+cost is the price of interruptibility, not of the retry machinery.
+``results/robustness_overhead.{json,md}`` records the measured ratios
+(``python -m repro.bench run robustness_overhead``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import batch_skyline_probabilities
+from repro.core.dominance import DominanceCache
+from repro.core.engine import SkylineProbabilityEngine
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.procedural import HashedPreferenceModel
+from repro.robustness import FaultInjector
+
+
+def make_workload(n=60, d=4, *, seed=5, preference_seed=6):
+    """The Fig. 9/13 block-zipf shape at a benchmark-friendly scale."""
+    dataset = block_zipf_dataset(n, d, seed=seed)
+    preferences = HashedPreferenceModel(d, seed=preference_seed)
+    return dataset, preferences
+
+
+def planner_loop(dataset, preferences):
+    """The pre-robustness planner path: shared cache, no retry wrapper."""
+    engine = SkylineProbabilityEngine(dataset, preferences)
+    cache = DominanceCache(preferences)
+    return [
+        engine.skyline_probability(
+            index, method="det+", cache=cache
+        ).probability
+        for index in range(len(dataset))
+    ]
+
+
+def robust_batch(dataset, preferences, **options):
+    """The fault-tolerant batch with its default retry/salvage policy."""
+    engine = SkylineProbabilityEngine(dataset, preferences)
+    cache = DominanceCache(preferences)
+    result = batch_skyline_probabilities(
+        engine, method="det+", cache=cache, **options
+    )
+    assert result.failures == ()
+    return list(result.probabilities)
+
+
+def test_planner_loop_baseline(benchmark):
+    dataset, preferences = make_workload()
+    answers = benchmark.pedantic(
+        planner_loop, args=(dataset, preferences), rounds=3, iterations=1
+    )
+    assert len(answers) == len(dataset)
+
+
+@pytest.mark.parametrize(
+    "options",
+    [
+        {},
+        {"fault_injector": FaultInjector(seed=0)},
+        {"deadline": 3600.0},
+    ],
+    ids=["defaults", "idle-injector", "armed-deadline"],
+)
+def test_fault_tolerant_batch(benchmark, options):
+    dataset, preferences = make_workload()
+    answers = benchmark.pedantic(
+        robust_batch,
+        args=(dataset, preferences),
+        kwargs=options,
+        rounds=3,
+        iterations=1,
+    )
+    # fault tolerance must never change the answers
+    assert answers == planner_loop(dataset, preferences)

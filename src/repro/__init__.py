@@ -28,6 +28,7 @@ from repro.core import (
     METHODS,
     AbsorptionResult,
     AllObjectsEstimate,
+    BatchFailure,
     BatchResult,
     Dataset,
     DominanceCache,
@@ -66,6 +67,7 @@ from repro.core import (
     validate_coverage,
 )
 from repro.errors import ReproError
+from repro.robustness import FaultInjector, InjectedFault, UnpicklableModel
 
 __version__ = "1.0.0"
 
@@ -79,8 +81,12 @@ __all__ = [
     "SkylineReport",
     "METHODS",
     "DominanceCache",
+    "BatchFailure",
     "BatchResult",
     "batch_skyline_probabilities",
+    "FaultInjector",
+    "InjectedFault",
+    "UnpicklableModel",
     "ExactResult",
     "SamplingResult",
     "AbsorptionResult",

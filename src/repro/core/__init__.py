@@ -12,6 +12,7 @@ from repro.core.bounds import (
     hoeffding_error,
     hoeffding_sample_size,
     validate_accuracy,
+    validate_robustness,
 )
 from repro.core.dominance import (
     DominanceCache,
@@ -20,8 +21,19 @@ from repro.core.dominance import (
     dominates_under,
     joint_dominance_probability,
 )
-from repro.core.engine import METHODS, SkylineProbabilityEngine, SkylineReport
-from repro.core.batch import BatchResult, batch_skyline_probabilities
+from repro.core.engine import (
+    DEADLINE_POLICIES,
+    METHODS,
+    SkylineProbabilityEngine,
+    SkylineReport,
+)
+from repro.core.batch import (
+    EXECUTORS,
+    ON_ERROR_POLICIES,
+    BatchFailure,
+    BatchResult,
+    batch_skyline_probabilities,
+)
 from repro.core.exact import (
     DEFAULT_MAX_OBJECTS,
     DET_KERNELS,
@@ -113,10 +125,15 @@ __all__ = [
     "SkylineProbabilityEngine",
     "SkylineReport",
     "METHODS",
+    "DEADLINE_POLICIES",
     "DominanceCache",
+    "BatchFailure",
     "BatchResult",
     "batch_skyline_probabilities",
+    "EXECUTORS",
+    "ON_ERROR_POLICIES",
     "validate_accuracy",
+    "validate_robustness",
     "skyline_probability_sac",
     "skyline_probability_a1",
     "skyline_probability_a2",

@@ -23,6 +23,32 @@ restricted-skyline probabilities across objects:
   alone — the batch output is bit-for-bit identical for every ``workers``
   and ``chunk_size`` choice.
 
+On top of the planner sits a **fault-tolerance layer** (heavy production
+traffic *will* hit worker crashes, broken pools, and pathological
+objects):
+
+* a chunk whose worker fails — a crashed process, a
+  ``BrokenProcessPool``, a pickling error, an injected chaos fault — is
+  re-dispatched with capped exponential backoff (``max_retries``,
+  ``backoff``), falling back from the process pool to the in-process
+  thread path, which cannot lose workers;
+* errors that persist per object are **salvaged**: the object's entry
+  moves to :attr:`BatchResult.failures` as a structured
+  :class:`BatchFailure` (index, exception type, message, attempts) while
+  every other object's answer is returned as normal
+  (``on_error="salvage"``; pass ``"raise"`` to propagate instead —
+  deterministic :class:`~repro.errors.ReproError` failures are never
+  retried, only recorded or raised);
+* a per-query wall-clock ``deadline`` arms the engine's Det→Sam
+  degradation (see :meth:`SkylineProbabilityEngine.skyline_probability`):
+  over-budget exact queries return ``(ε, δ)``-bounded estimates flagged
+  ``degraded=True`` instead of hanging the batch;
+* a :class:`~repro.robustness.FaultInjector` can be threaded through
+  (``fault_injector=``) to replay crashes/stragglers deterministically —
+  the chaos suite (``tests/test_fault_injection.py``) asserts that
+  retried and salvaged runs stay bit-identical to clean runs for every
+  surviving object.
+
 Every per-object answer is produced by the same
 :meth:`SkylineProbabilityEngine.skyline_probability` code path the serial
 loop uses, so batch results equal the per-object loop exactly (and
@@ -33,23 +59,68 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
 from typing import Dict, List, Sequence, Tuple
 
-from repro.core.bounds import validate_accuracy
+from repro.core.bounds import validate_accuracy, validate_robustness
 from repro.core.dominance import DominanceCache
-from repro.core.engine import METHODS, SkylineProbabilityEngine, SkylineReport
+from repro.core.engine import (
+    DEADLINE_POLICIES,
+    METHODS,
+    SkylineProbabilityEngine,
+    SkylineReport,
+)
 from repro.core.objects import Dataset
 from repro.core.preferences import PreferenceModel
-from repro.errors import ReproError
+from repro.errors import ReproError, RobustnessPolicyError
 from repro.util.rng import spawn_rngs
 
-__all__ = ["BatchResult", "batch_skyline_probabilities"]
+__all__ = [
+    "BatchFailure",
+    "BatchResult",
+    "batch_skyline_probabilities",
+    "EXECUTORS",
+    "ON_ERROR_POLICIES",
+]
 
-#: Methods that never consume randomness — no streams are spawned for them.
+#: Methods that never consume randomness — no streams are spawned for them
+#: (unless a ``deadline`` is armed: degradation to ``Sam`` needs a fixed
+#: per-object stream to stay reproducible).
 _EXACT_METHODS = frozenset({"det", "det+", "naive"})
+
+#: What to do with an object whose query still fails after every retry:
+#: ``"salvage"`` (default) records a :class:`BatchFailure` and keeps the
+#: other answers; ``"raise"`` propagates the error (the facade methods
+#: use this — their positional return values cannot have holes).
+ON_ERROR_POLICIES = ("salvage", "raise")
+
+#: Executor selection: ``"auto"`` picks processes when the host has real
+#: parallelism and the model pickles (threads otherwise), ``"process"``
+#: forces the process pool whenever the model pickles, ``"thread"``
+#: forces the in-process thread path.
+EXECUTORS = ("auto", "process", "thread")
+
+#: Ceiling on one exponential-backoff sleep, seconds.
+_BACKOFF_CAP = 1.0
+
+
+@dataclass(frozen=True)
+class BatchFailure:
+    """One object whose query failed permanently, in structured form.
+
+    ``index`` is the dataset position that could not be answered;
+    ``error_type``/``message`` describe the last exception observed;
+    ``attempts`` counts how many times the task was tried (first dispatch
+    plus retries) before the planner gave up.
+    """
+
+    index: int
+    error_type: str
+    message: str
+    attempts: int
 
 
 @dataclass(frozen=True)
@@ -58,9 +129,13 @@ class BatchResult:
 
     ``reports[k]`` answers ``indices[k]`` and is exactly the
     :class:`~repro.core.engine.SkylineReport` the per-object API would
-    have produced.  ``cache_hits``/``cache_misses`` count the dominance
-    cache's memo lookups performed by this batch (summed over worker
-    processes); ``workers`` records the fan-out actually used.
+    have produced.  Objects that failed permanently (``on_error=
+    "salvage"``) are excluded from ``indices``/``reports`` and listed in
+    ``failures`` instead; with no failures the result is exactly the
+    pre-fault-tolerance one.  ``cache_hits``/``cache_misses`` count the
+    dominance cache's memo lookups performed by this batch (summed over
+    worker processes); ``workers`` records the fan-out actually used;
+    ``retries`` the number of re-dispatched task attempts.
     """
 
     indices: Tuple[int, ...]
@@ -69,11 +144,22 @@ class BatchResult:
     workers: int
     cache_hits: int = 0
     cache_misses: int = 0
+    failures: Tuple[BatchFailure, ...] = ()
+    retries: int = 0
 
     @property
     def probabilities(self) -> Tuple[float, ...]:
         """Skyline probabilities in ``indices`` order."""
         return tuple(report.probability for report in self.reports)
+
+    @property
+    def degraded_indices(self) -> Tuple[int, ...]:
+        """Indices answered by Det→Sam deadline degradation."""
+        return tuple(
+            index
+            for index, report in zip(self.indices, self.reports)
+            if report.degraded
+        )
 
     def as_dict(self) -> Dict[int, float]:
         """``{object index: probability}`` mapping of the batch."""
@@ -111,33 +197,135 @@ def _effective_cores() -> int:
         return os.cpu_count() or 1
 
 
+def _sleep_backoff(backoff: float, attempt: int) -> None:
+    """Capped exponential delay before the ``attempt``-th try (2-based)."""
+    if backoff > 0.0:
+        time.sleep(min(backoff * (2.0 ** (attempt - 2)), _BACKOFF_CAP))
+
+
+# One task = (position in the batch, dataset index, per-object seed).
+_Task = Tuple[int, int, object]
+# One outcome = (position, report or None, failure or None, retries used).
+_Outcome = Tuple[int, SkylineReport | None, "BatchFailure | None", int]
+
+
 def _solve_chunk(
     dataset: Dataset,
     preferences: PreferenceModel,
     max_exact_objects: int,
     method: str,
     query_options: dict,
-    tasks: List[Tuple[int, object]],
-) -> Tuple[List[SkylineReport], int, int]:
-    """Worker entry point: answer one chunk of (index, seed) tasks.
+    injector: object,
+    attempt: int,
+    tasks: List[_Task],
+) -> Tuple[List[Tuple[int, SkylineReport]], int, int]:
+    """Process-pool entry point: answer one chunk of tasks, fail-fast.
 
     Top-level (picklable) on purpose.  Each worker process rebuilds a
     lightweight engine and its own :class:`DominanceCache` — caches cannot
     be shared across process boundaries, but a chunk-local cache still
-    amortises lookups within the chunk.  Returns the chunk's reports plus
-    its cache hit/miss counts for aggregation.
+    amortises lookups within the chunk.  Any failure aborts the chunk and
+    surfaces on its future; the coordinator re-dispatches in-process where
+    per-object recovery is cheap.  Returns the chunk's
+    ``(position, report)`` pairs plus its cache hit/miss counts.
     """
     engine = SkylineProbabilityEngine(
         dataset, preferences, max_exact_objects=max_exact_objects
     )
     cache = DominanceCache(preferences)
-    reports = [
-        engine.skyline_probability(
-            index, method=method, seed=seed, cache=cache, **query_options
+    reports = []
+    for position, index, task_seed in tasks:
+        if injector is not None:
+            injector.before_task(index, attempt)
+        reports.append(
+            (
+                position,
+                engine.skyline_probability(
+                    index, method=method, seed=task_seed, cache=cache,
+                    **query_options,
+                ),
+            )
         )
-        for index, seed in tasks
-    ]
     return reports, cache.hits, cache.misses
+
+
+def _run_task_with_retry(
+    engine: SkylineProbabilityEngine,
+    cache: DominanceCache,
+    method: str,
+    query_options: dict,
+    injector: object,
+    task: _Task,
+    *,
+    attempts_done: int,
+    max_retries: int,
+    backoff: float,
+    on_error: str,
+    last_error: Exception | None = None,
+) -> _Outcome:
+    """Answer one task in-process, retrying transient failures.
+
+    ``attempts_done`` counts dispatches already burned elsewhere (a chunk
+    that failed in the process pool arrives with 1).  Deterministic
+    library errors (:class:`ReproError`) are never retried — re-running
+    the same exact computation cannot heal a budget violation — while
+    anything else (injected crashes, infrastructure faults) is retried
+    with capped exponential backoff until ``max_retries + 1`` total
+    attempts are spent.  A task that still fails is either recorded as a
+    :class:`BatchFailure` (``on_error="salvage"``) or re-raised.
+    """
+    position, index, task_seed = task
+    allowed = max_retries + 1
+    attempt = attempts_done
+    retries_used = 0
+    while attempt < allowed:
+        attempt += 1
+        if attempt > 1:
+            retries_used += 1
+            _sleep_backoff(backoff, attempt)
+        try:
+            if injector is not None:
+                injector.before_task(index, attempt)
+            report = engine.skyline_probability(
+                index, method=method, seed=task_seed, cache=cache,
+                **query_options,
+            )
+            return position, report, None, retries_used
+        except Exception as error:
+            last_error = error
+            if isinstance(error, ReproError):
+                break  # deterministic: retrying cannot change the outcome
+    if on_error == "raise":
+        raise last_error
+    failure = BatchFailure(
+        index, type(last_error).__name__, str(last_error), max(attempt, 1)
+    )
+    return position, None, failure, retries_used
+
+
+def _run_chunk_inprocess(
+    engine: SkylineProbabilityEngine,
+    cache: DominanceCache,
+    method: str,
+    query_options: dict,
+    injector: object,
+    chunk: List[_Task],
+    *,
+    attempts_done: int,
+    max_retries: int,
+    backoff: float,
+    on_error: str,
+    last_error: Exception | None = None,
+) -> List[_Outcome]:
+    """Per-object isolation pass: one bad task cannot poison its chunk."""
+    return [
+        _run_task_with_retry(
+            engine, cache, method, query_options, injector, task,
+            attempts_done=attempts_done, max_retries=max_retries,
+            backoff=backoff, on_error=on_error, last_error=last_error,
+        )
+        for task in chunk
+    ]
 
 
 def batch_skyline_probabilities(
@@ -155,6 +343,13 @@ def batch_skyline_probabilities(
     use_absorption: bool = True,
     use_partition: bool = True,
     det_kernel: str = "fast",
+    deadline: float | None = None,
+    on_deadline: str = "degrade",
+    max_retries: int = 2,
+    backoff: float = 0.05,
+    on_error: str = "salvage",
+    executor: str = "auto",
+    fault_injector: object = None,
 ) -> BatchResult:
     """Compute ``sky`` for all objects (or an index subset) in one pass.
 
@@ -187,10 +382,63 @@ def batch_skyline_probabilities(
         As in :meth:`SkylineProbabilityEngine.skyline_probability`.
         ``seed`` feeds one spawned stream per object for the sampling
         methods, so a fixed seed fixes the whole batch output.
+    deadline, on_deadline:
+        Per-query wall-clock budget, forwarded to every query of the
+        batch: an exact query that blows ``deadline`` seconds degrades to
+        the ``(ε, δ)``-bounded ``Sam`` estimator (its report is flagged
+        ``degraded=True``; see :attr:`BatchResult.degraded_indices`)
+        instead of stalling the batch.  With a deadline armed, exact
+        methods also get per-object spawned streams so degradation stays
+        bit-reproducible across ``workers``/``chunk_size`` choices.
+    max_retries, backoff:
+        Fault-tolerance budget per task: a failed dispatch (worker crash,
+        ``BrokenProcessPool``, pickling error, injected chaos fault) is
+        re-dispatched — falling back from the process pool to the
+        in-process thread path — with capped exponential backoff
+        (``backoff * 2**k`` seconds, capped at 1s) until ``max_retries``
+        retries are spent.  Deterministic :class:`ReproError` failures
+        are never retried.
+    on_error:
+        ``"salvage"`` (default) turns an object whose query permanently
+        fails into a structured :class:`BatchFailure` entry while the
+        rest of the batch completes; ``"raise"`` propagates the error
+        (the engine's facade methods use this — their positional return
+        values cannot have holes).
+    executor:
+        One of :data:`EXECUTORS`; ``"auto"`` (default) keeps the
+        hardware-driven choice, ``"process"``/``"thread"`` force one path
+        (chaos tests use this to exercise each executor deterministically).
+    fault_injector:
+        Optional :class:`repro.robustness.FaultInjector` consulted before
+        every per-object query — the deterministic chaos hook.  ``None``
+        (default) costs nothing.
     """
     if method not in METHODS:
         raise ReproError(f"unknown method {method!r}; expected one of {METHODS}")
     validate_accuracy(epsilon, delta, samples)
+    validate_robustness(deadline=deadline, max_retries=max_retries, backoff=backoff)
+    if on_deadline not in DEADLINE_POLICIES:
+        raise RobustnessPolicyError(
+            f"unknown on_deadline policy {on_deadline!r}; expected one of "
+            f"{DEADLINE_POLICIES}"
+        )
+    if on_error not in ON_ERROR_POLICIES:
+        raise RobustnessPolicyError(
+            f"unknown on_error policy {on_error!r}; expected one of "
+            f"{ON_ERROR_POLICIES}"
+        )
+    if executor not in EXECUTORS:
+        raise RobustnessPolicyError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+    if fault_injector is not None and not callable(
+        getattr(fault_injector, "before_task", None)
+    ):
+        raise RobustnessPolicyError(
+            f"fault_injector must provide a before_task(index, attempt) "
+            f"method (see repro.robustness.FaultInjector), got "
+            f"{fault_injector!r}"
+        )
     if chunk_size is not None and (
         isinstance(chunk_size, bool)
         or not isinstance(chunk_size, int)
@@ -229,34 +477,64 @@ def batch_skyline_probabilities(
         use_absorption=use_absorption,
         use_partition=use_partition,
         det_kernel=det_kernel,
+        deadline=deadline,
+        on_deadline=on_deadline,
     )
     # One spawned stream per object: independent across objects, fixed by
     # (seed, position) alone — chunking and worker count cannot move them.
-    if method in _EXACT_METHODS:
+    # An armed deadline spawns streams for exact methods too, so their
+    # Det→Sam degradation is equally reproducible.
+    if method in _EXACT_METHODS and deadline is None:
         seeds: List[object] = [None] * n
     else:
         seeds = list(spawn_rngs(seed, n))
-    tasks = list(zip(index_list, seeds))
+    tasks: List[_Task] = list(zip(range(n), index_list, seeds))
 
+    results: Dict[int, SkylineReport] = {}
+    failure_map: Dict[int, BatchFailure] = {}
+    retries = 0
     hits_before, misses_before = cache.hits, cache.misses
     child_hits = 0
     child_misses = 0
+
+    def absorb(outcomes: List[_Outcome]) -> None:
+        nonlocal retries
+        for position, report, failure, retries_used in outcomes:
+            retries += retries_used
+            if report is not None:
+                results[position] = report
+            else:
+                failure_map[position] = failure
+
+    recovery_policy = dict(
+        max_retries=max_retries, backoff=backoff, on_error=on_error
+    )
     if workers == 1:
-        reports = [
-            engine.skyline_probability(
-                index, method=method, seed=task_seed, cache=cache, **query_options
+        absorb(
+            _run_chunk_inprocess(
+                engine, cache, method, query_options, fault_injector, tasks,
+                attempts_done=0, **recovery_policy,
             )
-            for index, task_seed in tasks
-        ]
+        )
     else:
         if chunk_size is None:
             chunk_size = max(1, -(-n // workers))
         chunks = _chunked(tasks, chunk_size)
-        # Processes pay for isolation with cold chunk-local caches, which
-        # only amortises when they buy real parallelism; on a single-core
-        # host (or with an unpicklable model) threads keep the one shared
-        # cache instead.  Either way the answers are identical.
-        if _effective_cores() > 1 and _model_is_picklable(engine.preferences):
+        if executor == "thread":
+            use_processes = False
+        else:
+            # Processes pay for isolation with cold chunk-local caches,
+            # which only amortises when they buy real parallelism; on a
+            # single-core host (unless forced) or with an unpicklable
+            # model, threads keep the one shared cache instead.  Either
+            # way the answers are identical.
+            use_processes = _model_is_picklable(engine.preferences) and (
+                executor == "process" or _effective_cores() > 1
+            )
+        # Chunks whose dispatch fails land here as (chunk, attempts
+        # burned, last error) and are re-dispatched on the thread path.
+        recovery: List[Tuple[List[_Task], int, Exception | None]] = []
+        if use_processes:
             solve = partial(
                 _solve_chunk,
                 engine.dataset,
@@ -264,37 +542,62 @@ def batch_skyline_probabilities(
                 engine.max_exact_objects,
                 method,
                 query_options,
+                fault_injector,
             )
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(pool.map(solve, chunks))
-            reports = []
-            for chunk_reports, chunk_hits, chunk_misses in outcomes:
-                reports.extend(chunk_reports)
-                child_hits += chunk_hits
-                child_misses += chunk_misses
+                future_map = {}
+                for chunk in chunks:
+                    try:
+                        future_map[pool.submit(solve, 1, chunk)] = chunk
+                    except Exception as error:
+                        # Submission itself failed (broken pool, pickling).
+                        recovery.append((chunk, 1, error))
+                for future, chunk in future_map.items():
+                    try:
+                        chunk_reports, chunk_hits, chunk_misses = future.result()
+                    except Exception as error:
+                        # Worker crash, BrokenProcessPool, injected fault,
+                        # or an error raised by the queries themselves.
+                        recovery.append((chunk, 1, error))
+                    else:
+                        for position, report in chunk_reports:
+                            results[position] = report
+                        child_hits += chunk_hits
+                        child_misses += chunk_misses
         else:
             # Threads share the engine and the cache directly.  Same
-            # answers, shared memoisation.
-            def solve_local(chunk: List[Tuple[int, object]]) -> List[SkylineReport]:
-                return [
-                    engine.skyline_probability(
-                        index, method=method, seed=task_seed, cache=cache,
-                        **query_options,
-                    )
-                    for index, task_seed in chunk
-                ]
+            # answers, shared memoisation — and no pool to lose.
+            recovery = [(chunk, 0, None) for chunk in chunks]
+        if recovery:
 
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                reports = [
-                    report
-                    for chunk_reports in pool.map(solve_local, chunks)
-                    for report in chunk_reports
-                ]
+            def recover(
+                entry: Tuple[List[_Task], int, Exception | None]
+            ) -> List[_Outcome]:
+                chunk, attempts_done, last_error = entry
+                return _run_chunk_inprocess(
+                    engine, cache, method, query_options, fault_injector,
+                    chunk, attempts_done=attempts_done,
+                    last_error=last_error, **recovery_policy,
+                )
+
+            if workers > 1 and len(recovery) > 1:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    for outcomes in pool.map(recover, recovery):
+                        absorb(outcomes)
+            else:
+                for entry in recovery:
+                    absorb(recover(entry))
+
+    answered = sorted(results)
     return BatchResult(
-        tuple(index_list),
-        tuple(reports),
+        tuple(index_list[position] for position in answered),
+        tuple(results[position] for position in answered),
         method,
         workers,
         cache_hits=cache.hits - hits_before + child_hits,
         cache_misses=cache.misses - misses_before + child_misses,
+        failures=tuple(
+            failure_map[position] for position in sorted(failure_map)
+        ),
+        retries=retries,
     )

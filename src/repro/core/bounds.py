@@ -15,13 +15,14 @@ import math
 
 import numpy as np
 
-from repro.errors import EstimationError
+from repro.errors import EstimationError, RobustnessPolicyError
 
 __all__ = [
     "hoeffding_sample_size",
     "hoeffding_error",
     "hoeffding_confidence",
     "validate_accuracy",
+    "validate_robustness",
 ]
 
 
@@ -70,6 +71,58 @@ def validate_accuracy(
     ):
         raise EstimationError(
             f"samples must be a positive integer or None, got {samples!r}"
+        )
+
+
+def _is_real_number(value: object) -> bool:
+    return not isinstance(value, bool) and isinstance(
+        value, (int, float, np.integer, np.floating)
+    )
+
+
+def validate_robustness(
+    deadline: object = None,
+    max_retries: object = None,
+    backoff: object = None,
+) -> None:
+    """Fail fast on malformed fault-tolerance parameters.
+
+    The companion of :func:`validate_accuracy` for the robustness layer:
+    ``deadline`` (when given) must be a positive, finite number of
+    seconds; ``max_retries`` (when given) a non-negative integer; and
+    ``backoff`` (when given) a non-negative, finite number of seconds.
+    Raises :class:`~repro.errors.RobustnessPolicyError` (a
+    :class:`~repro.errors.ComputationBudgetError`) with a
+    parameter-specific message instead of letting ``deadline=-1`` mean
+    "already expired" or ``max_retries=2.5`` truncate silently.
+    """
+    if deadline is not None and (
+        not _is_real_number(deadline)
+        or not math.isfinite(deadline)
+        or deadline <= 0
+    ):
+        raise RobustnessPolicyError(
+            f"deadline must be a positive, finite number of seconds or "
+            f"None (= no wall-clock budget), got {deadline!r}"
+        )
+    if max_retries is not None and (
+        isinstance(max_retries, bool)
+        or not isinstance(max_retries, (int, np.integer))
+        or max_retries < 0
+    ):
+        raise RobustnessPolicyError(
+            f"max_retries must be a non-negative integer (0 disables "
+            f"re-dispatch), got {max_retries!r}"
+        )
+    if backoff is not None and (
+        not _is_real_number(backoff)
+        or not math.isfinite(backoff)
+        or backoff < 0
+    ):
+        raise RobustnessPolicyError(
+            f"backoff must be a non-negative, finite number of seconds "
+            f"(the base of the capped exponential retry delay), got "
+            f"{backoff!r}"
         )
 
 

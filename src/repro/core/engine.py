@@ -27,10 +27,11 @@ single-object query: all-objects probabilities, the probabilistic skyline
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from repro.core.bounds import validate_accuracy
+from repro.core.bounds import validate_accuracy, validate_robustness
 from repro.core.dominance import DominanceCache
 from repro.core.exact import (
     DEFAULT_MAX_OBJECTS,
@@ -43,12 +44,24 @@ from repro.core.objects import Dataset, ObjectValues, Value, as_object
 from repro.core.preferences import PreferenceModel
 from repro.core.preprocess import PreprocessResult, preprocess
 from repro.core.sampling import SamplingResult, skyline_probability_sampled
-from repro.errors import ComputationBudgetError, DimensionalityError, ReproError
+from repro.errors import (
+    ComputationBudgetError,
+    DeadlineExceededError,
+    DimensionalityError,
+    ReproError,
+    RobustnessPolicyError,
+)
 from repro.util.rng import as_rng
 
-__all__ = ["SkylineProbabilityEngine", "SkylineReport", "METHODS"]
+__all__ = ["SkylineProbabilityEngine", "SkylineReport", "METHODS", "DEADLINE_POLICIES"]
 
 METHODS = ("det", "det+", "sam", "sam+", "naive", "auto")
+
+#: What to do when an exact query's wall-clock ``deadline`` expires:
+#: ``"degrade"`` (default) falls back to the ``(ε, δ)``-bounded ``Sam``
+#: estimator and flags the report; ``"raise"`` surfaces
+#: :class:`~repro.errors.DeadlineExceededError` to the caller.
+DEADLINE_POLICIES = ("degrade", "raise")
 
 
 @dataclass(frozen=True)
@@ -60,7 +73,10 @@ class SkylineReport:
     ``preprocessing`` is present for the ``+``/``auto`` methods;
     ``partition_results`` holds the per-partition sub-results (an
     :class:`ExactResult` or :class:`SamplingResult` each) in partition
-    order.
+    order.  ``degraded`` is ``True`` when the requested exact method blew
+    its wall-clock ``deadline`` and the engine fell back to the
+    ``(ε, δ)``-bounded ``Sam`` estimator; ``degradation_reason`` then
+    records why (and ``method`` names the method actually used).
     """
 
     probability: float
@@ -69,6 +85,8 @@ class SkylineReport:
     preprocessing: PreprocessResult | None = None
     partition_results: Tuple[object, ...] = ()
     samples: int = 0
+    degraded: bool = False
+    degradation_reason: str | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability <= 1.0:
@@ -142,6 +160,8 @@ class SkylineProbabilityEngine:
         use_partition: bool = True,
         det_kernel: str = "fast",
         cache: DominanceCache | None = None,
+        deadline: float | None = None,
+        on_deadline: str = "degrade",
     ) -> SkylineReport:
         """``sky(target)`` by the chosen method.
 
@@ -156,6 +176,20 @@ class SkylineProbabilityEngine:
         an optional :class:`~repro.core.dominance.DominanceCache` shared
         across queries (see :meth:`skyline_probabilities`); it never
         changes the answer.
+
+        ``deadline`` arms a wall-clock budget (seconds) over the exact
+        inclusion-exclusion enumeration of ``det``/``det+``/``auto``
+        (the problem is #P-complete, so a pathological instance *will*
+        blow any latency target).  On expiry the engine follows
+        ``on_deadline``: ``"degrade"`` (default) answers with the
+        ``(ε, δ)``-bounded ``Sam`` estimator instead — using this query's
+        ``epsilon``/``delta``/``samples``/``seed`` — and returns a report
+        flagged ``degraded=True`` with the reason recorded;
+        ``"raise"`` propagates
+        :class:`~repro.errors.DeadlineExceededError`.  An armed deadline
+        routes exact work through the ``"reference"`` kernel (same
+        bit-for-bit answer, per-term accounting); ``sam``/``sam+``/
+        ``naive`` have predictable cost and ignore the deadline.
         """
         competitors, target_values = self._resolve_target(target)
         if method not in METHODS:
@@ -168,6 +202,12 @@ class SkylineProbabilityEngine:
                 f"expected one of {DET_KERNELS}"
             )
         validate_accuracy(epsilon, delta, samples)
+        validate_robustness(deadline=deadline)
+        if on_deadline not in DEADLINE_POLICIES:
+            raise RobustnessPolicyError(
+                f"unknown on_deadline policy {on_deadline!r}; expected one "
+                f"of {DEADLINE_POLICIES}"
+            )
         cache_key = (
             target_values,
             method,
@@ -178,15 +218,72 @@ class SkylineProbabilityEngine:
         cached = self._exact_cache.get(cache_key)
         if cached is not None:
             return cached
-        report = self._answer(
-            competitors, target_values, method,
-            epsilon=epsilon, delta=delta, samples=samples, seed=seed,
-            use_absorption=use_absorption, use_partition=use_partition,
-            det_kernel=det_kernel, cache=cache,
+        deadline_at = (
+            None if deadline is None else time.monotonic() + deadline
         )
+        try:
+            report = self._answer(
+                competitors, target_values, method,
+                epsilon=epsilon, delta=delta, samples=samples, seed=seed,
+                use_absorption=use_absorption, use_partition=use_partition,
+                det_kernel=det_kernel, cache=cache, deadline_at=deadline_at,
+            )
+        except DeadlineExceededError as expiry:
+            if on_deadline == "raise":
+                raise
+            report = self._degrade_to_sampling(
+                competitors, target_values, method,
+                epsilon=epsilon, delta=delta, samples=samples, seed=seed,
+                cache=cache, deadline=deadline, expiry=expiry,
+            )
         if report.exact:
             self._exact_cache[cache_key] = report
         return report
+
+    def _degrade_to_sampling(
+        self,
+        competitors: List[ObjectValues],
+        target_values: ObjectValues,
+        method: str,
+        *,
+        epsilon: float,
+        delta: float,
+        samples: int | None,
+        seed: object,
+        cache: DominanceCache | None,
+        deadline: float,
+        expiry: DeadlineExceededError,
+    ) -> SkylineReport:
+        """Answer an over-deadline exact query with ``Sam`` instead.
+
+        The estimate carries the caller's ``(ε, δ)`` Hoeffding guarantee
+        (Theorem 2) and, given the same ``seed``, is bit-for-bit the
+        answer a direct ``method="sam"`` query would have produced — the
+        exact attempt consumed no randomness before expiring.
+        """
+        result = skyline_probability_sampled(
+            self._preferences,
+            competitors,
+            target_values,
+            epsilon=epsilon,
+            delta=delta,
+            samples=samples,
+            seed=seed,
+            cache=cache,
+        )
+        return SkylineReport(
+            result.estimate,
+            "sam",
+            False,
+            partition_results=(result,),
+            samples=result.samples,
+            degraded=True,
+            degradation_reason=(
+                f"deadline of {deadline}s expired during exact "
+                f"method {method!r} ({expiry}); degraded to sam with "
+                f"epsilon={epsilon}, delta={delta}"
+            ),
+        )
 
     def clear_cache(self) -> None:
         """Drop memoised exact answers (freed memory, same results)."""
@@ -206,6 +303,7 @@ class SkylineProbabilityEngine:
         use_partition: bool,
         det_kernel: str = "fast",
         cache: DominanceCache | None = None,
+        deadline_at: float | None = None,
     ) -> SkylineReport:
         if method == "det":
             result = skyline_probability_det(
@@ -215,6 +313,7 @@ class SkylineProbabilityEngine:
                 max_objects=self._max_exact_objects,
                 kernel=det_kernel,
                 cache=cache,
+                deadline_at=deadline_at,
             )
             return SkylineReport(
                 result.probability, "det", True, partition_results=(result,)
@@ -255,6 +354,7 @@ class SkylineProbabilityEngine:
                 competitors, target_values, prep, allow_sampling=False,
                 epsilon=epsilon, delta=delta, samples=samples, seed=seed,
                 method_name="det+", det_kernel=det_kernel, cache=cache,
+                deadline_at=deadline_at,
             )
         if method == "sam+":
             kept = [competitors[i] for i in prep.kept_indices]
@@ -281,6 +381,7 @@ class SkylineProbabilityEngine:
             competitors, target_values, prep, allow_sampling=True,
             epsilon=epsilon, delta=delta, samples=samples, seed=seed,
             method_name="auto", det_kernel=det_kernel, cache=cache,
+            deadline_at=deadline_at,
         )
 
     def _solve_partitions(
@@ -297,6 +398,7 @@ class SkylineProbabilityEngine:
         method_name: str,
         det_kernel: str = "fast",
         cache: DominanceCache | None = None,
+        deadline_at: float | None = None,
     ) -> SkylineReport:
         """Multiply per-partition results per Theorem 4.
 
@@ -336,6 +438,7 @@ class SkylineProbabilityEngine:
                     max_objects=self._max_exact_objects,
                     kernel=det_kernel,
                     cache=cache,
+                    deadline_at=deadline_at,
                 )
                 probability *= result.probability
             else:
@@ -387,9 +490,15 @@ class SkylineProbabilityEngine:
         Sampling methods draw one spawned, per-object random stream from
         ``seed``, so the output is identical for every ``workers``/
         ``chunk_size`` choice.
+
+        Unlike :func:`~repro.core.batch.batch_skyline_probabilities`
+        itself, this facade defaults to ``on_error="raise"``: a positional
+        list of probabilities cannot represent a salvaged hole, so a
+        permanently failing object propagates its error instead.
         """
         from repro.core.batch import batch_skyline_probabilities
 
+        query_options.setdefault("on_error", "raise")
         result = batch_skyline_probabilities(
             self,
             method=method,

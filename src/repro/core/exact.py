@@ -33,13 +33,14 @@ approximation "A2" (Figure 6) and give certified bounds.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.dominance import DominanceCache, DominanceFactor, factor_source
 from repro.core.objects import Value
 from repro.core.preferences import PreferenceModel
-from repro.errors import ComputationBudgetError
+from repro.errors import ComputationBudgetError, DeadlineExceededError
 
 __all__ = [
     "DEFAULT_MAX_OBJECTS",
@@ -60,6 +61,26 @@ DEFAULT_MAX_OBJECTS = 25
 #: count), "reference" is the original direct transcription of Algorithm 1
 #: kept as the differential-testing and benchmarking baseline.
 DET_KERNELS = ("fast", "reference")
+
+#: Inclusion-exclusion terms between wall-clock deadline checks.  A
+#: bitmask interval keeps the per-term cost of an armed deadline to one
+#: integer AND; 1024 terms take well under a millisecond, so expiry is
+#: detected promptly relative to any realistic budget.
+_DEADLINE_CHECK_MASK = 1024 - 1
+
+
+def _check_deadline(deadline_at: float | None, terms: int) -> None:
+    """Raise when an armed absolute deadline has passed.
+
+    ``deadline_at`` is a :func:`time.monotonic` timestamp (not a duration)
+    so one budget can span every partition of a ``det+``/``auto`` query.
+    """
+    if deadline_at is not None and time.monotonic() >= deadline_at:
+        raise DeadlineExceededError(
+            f"wall-clock deadline expired after {terms} inclusion-exclusion "
+            f"terms; degrade to sampling (the engine's on_deadline='degrade' "
+            f"does this automatically) or raise the deadline"
+        )
 
 
 @dataclass(frozen=True)
@@ -122,6 +143,7 @@ def skyline_probability_det(
     share_computation: bool = True,
     kernel: str = "fast",
     cache: DominanceCache | None = None,
+    deadline_at: float | None = None,
 ) -> ExactResult:
     """Exact ``sky(target)`` against ``competitors`` (Algorithm 1).
 
@@ -152,11 +174,20 @@ def skyline_probability_det(
     cache:
         Optional :class:`~repro.core.dominance.DominanceCache` shared
         across queries (batch evaluation); never changes the answer.
+    deadline_at:
+        Optional absolute :func:`time.monotonic` timestamp; the subset
+        enumeration checks it periodically and raises
+        :class:`~repro.errors.DeadlineExceededError` once it has passed.
+        Per-term accounting needs the reference traversal, so an armed
+        deadline implies ``kernel="reference"`` (which is bit-for-bit
+        identical to ``"fast"``, just slower) — the unarmed happy path
+        pays nothing.
     """
     if kernel not in DET_KERNELS:
         raise ValueError(
             f"unknown kernel {kernel!r}; expected one of {DET_KERNELS}"
         )
+    _check_deadline(deadline_at, 0)
     factor_lists = _prepare_factor_lists(preferences, competitors, target, cache)
     if factor_lists is None:
         return ExactResult(0.0, 0, len(competitors))
@@ -168,9 +199,9 @@ def skyline_probability_det(
             f"preprocess (absorption/partition) or use sampling"
         )
     if not share_computation:
-        return _det_without_sharing(factor_lists, max_terms)
-    if kernel == "reference" or max_terms is not None:
-        return _det_shared_reference(factor_lists, max_terms)
+        return _det_without_sharing(factor_lists, max_terms, deadline_at)
+    if kernel == "reference" or max_terms is not None or deadline_at is not None:
+        return _det_shared_reference(factor_lists, max_terms, deadline_at)
     return _det_shared_fast(factor_lists)
 
 
@@ -200,6 +231,7 @@ def _index_factors(
 def _det_shared_reference(
     factor_lists: List[Sequence[DominanceFactor]],
     max_terms: int | None,
+    deadline_at: float | None = None,
 ) -> ExactResult:
     """Algorithm 1 with sharing, as originally transcribed.
 
@@ -222,6 +254,8 @@ def _det_shared_reference(
                 raise ComputationBudgetError(
                     f"inclusion-exclusion exceeded max_terms={max_terms}"
                 )
+            if terms & _DEADLINE_CHECK_MASK == 0:
+                _check_deadline(deadline_at, terms)
             ids, probs = object_factors[i]
             extended = probability
             for identifier, factor in zip(ids, probs):
@@ -343,6 +377,7 @@ def _det_shared_fast(
 def _det_without_sharing(
     factor_lists: List[List[DominanceFactor]],
     max_terms: int | None,
+    deadline_at: float | None = None,
 ) -> ExactResult:
     """Naive per-term evaluation of Equation 4 (ablation reference).
 
@@ -362,6 +397,8 @@ def _det_without_sharing(
                 raise ComputationBudgetError(
                     f"inclusion-exclusion exceeded max_terms={max_terms}"
                 )
+            if terms & _DEADLINE_CHECK_MASK == 0:
+                _check_deadline(deadline_at, terms)
             seen: set = set()
             probability = 1.0
             for member in subset:

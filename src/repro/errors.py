@@ -17,6 +17,8 @@ __all__ = [
     "UnknownPreferenceError",
     "InvalidProbabilityError",
     "ComputationBudgetError",
+    "DeadlineExceededError",
+    "RobustnessPolicyError",
     "EstimationError",
     "ExperimentError",
 ]
@@ -63,6 +65,13 @@ class UnknownPreferenceError(PreferenceError, KeyError):
     def __str__(self) -> str:  # KeyError quotes its arg; keep the message readable.
         return self.args[0]
 
+    def __reduce__(self):
+        # Exceptions unpickle as ``cls(*args)``; ``args`` holds the rendered
+        # message, not the constructor signature, so without this the error
+        # could not cross a process boundary (e.g. out of a worker in
+        # ``batch_skyline_probabilities``).
+        return (type(self), (self.dimension, self.a, self.b))
+
 
 class InvalidProbabilityError(PreferenceError, ValueError):
     """A probability is outside [0, 1] or a pair sums to more than 1."""
@@ -75,6 +84,26 @@ class ComputationBudgetError(ReproError):
     (the problem is #P-complete, Theorem 1), so the engine refuses to
     enumerate beyond a configurable number of objects / inclusion-exclusion
     terms instead of hanging.  Callers should fall back to sampling.
+    """
+
+
+class DeadlineExceededError(ComputationBudgetError):
+    """A wall-clock deadline expired during an exact computation.
+
+    Raised from inside the Det kernel's subset enumeration when the
+    caller-supplied ``deadline`` runs out.  The engine normally catches it
+    and degrades the query to the Monte-Carlo estimator ``Sam`` with the
+    caller's ``(ε, δ)`` guarantee (Theorem 2), recording ``degraded=True``
+    on the report; it only surfaces with ``on_deadline="raise"``.
+    """
+
+
+class RobustnessPolicyError(ComputationBudgetError):
+    """A fault-tolerance parameter is malformed.
+
+    Raised at the API boundary when ``deadline``, ``max_retries``,
+    ``backoff``, ``on_deadline``, ``on_error`` or ``executor`` cannot be
+    interpreted — before any work (or any worker dispatch) happens.
     """
 
 

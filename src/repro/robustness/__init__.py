@@ -1,0 +1,17 @@
+"""Fault tolerance tooling: deterministic chaos injection for the batch
+planner's robustness suite (worker crashes, slow chunks, unpicklable
+models), all keyed by a seed so every failure pattern replays exactly."""
+
+from repro.robustness.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    InjectedFault,
+    UnpicklableModel,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "InjectedFault",
+    "UnpicklableModel",
+]

@@ -94,3 +94,31 @@ class TestParallelBatchBenchmark:
         assert "serial loop (seed)" in rows
         assert all(row["identical"] for row in rows.values())
         assert rows["batch, workers=1"]["speedup vs serial"] > 1.0
+
+
+class TestRobustnessOverheadBenchmark:
+    def test_benchmark_module_importable(self):
+        module = _load_benchmark_module("bench_robustness_overhead")
+        assert callable(module.planner_loop)
+        assert callable(module.robust_batch)
+
+    def test_helpers_agree_on_tiny_workload(self):
+        module = _load_benchmark_module("bench_robustness_overhead")
+        dataset, preferences = module.make_workload(n=12, d=3)
+        baseline = module.planner_loop(dataset, preferences)
+        assert module.robust_batch(dataset, preferences) == baseline
+        assert (
+            module.robust_batch(dataset, preferences, deadline=3600.0)
+            == baseline
+        )
+
+    def test_experiment_registered_and_smoke_runs(self):
+        experiment = get_experiment("robustness_overhead")
+        (table,) = experiment.run("quick")
+        rows = {row["configuration"]: row for row in table.rows}
+        assert "planner loop (no fault tolerance)" in rows
+        assert all(row["identical"] for row in rows.values())
+        # the happy-path bar: <5% overhead with the default policy (a
+        # generous 1.15 gate absorbs CI timing noise; the archived
+        # results/robustness_overhead.md records the honest ~1.0 ratio)
+        assert rows["robust batch, defaults"]["overhead vs planner"] < 1.15

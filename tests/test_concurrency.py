@@ -1,14 +1,21 @@
-"""Concurrency smoke tests: read-only engine use across threads."""
+"""Concurrency smoke tests: read-only engine use across threads, plus
+cancellation/cleanup — an interrupted batch must not leak worker
+processes or corrupt the shared dominance cache."""
 
 from __future__ import annotations
 
+import multiprocessing
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
+from repro.core.batch import batch_skyline_probabilities
+from repro.core.dominance import DominanceCache
 from repro.core.engine import SkylineProbabilityEngine
 from repro.data.blockzipf import block_zipf_dataset
 from repro.data.procedural import HashedPreferenceModel
+from repro.robustness import FaultInjector
 
 
 @pytest.fixture(scope="module")
@@ -66,3 +73,126 @@ class TestThreadedQueries:
             detplus = results[tasks.index((index, "det+"))]
             auto = results[tasks.index((index, "auto"))]
             assert detplus == pytest.approx(auto)
+
+
+def _lingering_children(timeout=5.0):
+    """Worker processes still alive after ``timeout`` seconds of grace."""
+    deadline = time.monotonic() + timeout
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    return multiprocessing.active_children()
+
+
+@pytest.mark.chaos
+class TestCancellationCleanup:
+    """Satellite: cancellation mid-batch must not leak workers or corrupt
+    the shared cache.
+
+    ``KeyboardInterrupt`` is *not* an ``Exception``, so the retry layer
+    must let it through immediately (an operator's Ctrl-C is not a fault
+    to be healed), the executors' context managers must reap their
+    workers, and a :class:`DominanceCache` that was mid-use must remain
+    valid for the next batch.
+    """
+
+    def _fresh(self, n=14):
+        dataset = block_zipf_dataset(n, 3, seed=60)
+        return SkylineProbabilityEngine(dataset, HashedPreferenceModel(3, seed=61))
+
+    @pytest.mark.parametrize("workers,executor", [(1, "auto"), (3, "thread")])
+    def test_keyboard_interrupt_propagates_immediately(self, workers, executor):
+        # poison an object mid-batch with KeyboardInterrupt: no retry,
+        # no salvage — the interrupt surfaces to the caller
+        interrupt = FaultInjector(
+            seed=0, poison={7}, exception=KeyboardInterrupt
+        )
+        with pytest.raises(KeyboardInterrupt):
+            batch_skyline_probabilities(
+                self._fresh(),
+                method="det+",
+                workers=workers,
+                chunk_size=2,
+                executor=executor,
+                fault_injector=interrupt,
+                max_retries=5,  # must NOT apply to an interrupt
+            )
+
+    def test_interrupted_batch_does_not_corrupt_the_shared_cache(self):
+        engine = self._fresh()
+        cache = DominanceCache(engine.preferences)
+        reference = batch_skyline_probabilities(
+            self._fresh(), method="det+"
+        ).probabilities
+        with pytest.raises(KeyboardInterrupt):
+            batch_skyline_probabilities(
+                engine,
+                method="det+",
+                cache=cache,
+                workers=3,
+                chunk_size=1,
+                executor="thread",
+                fault_injector=FaultInjector(
+                    seed=0, poison={5}, exception=KeyboardInterrupt
+                ),
+            )
+        # the cache the interrupt tore through still serves exact answers
+        engine.clear_cache()
+        resumed = batch_skyline_probabilities(engine, method="det+", cache=cache)
+        assert list(resumed.probabilities) == list(reference)
+        assert resumed.failures == ()
+
+    def test_interrupted_batch_leaves_no_threads_mid_task(self):
+        import threading
+
+        before = threading.active_count()
+        with pytest.raises(KeyboardInterrupt):
+            batch_skyline_probabilities(
+                self._fresh(),
+                method="det+",
+                workers=4,
+                chunk_size=1,
+                executor="thread",
+                fault_injector=FaultInjector(
+                    seed=0, poison={0}, exception=KeyboardInterrupt
+                ),
+            )
+        deadline = time.monotonic() + 5.0
+        while threading.active_count() > before and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert threading.active_count() <= before
+
+    @pytest.mark.slow
+    def test_broken_process_pool_leaves_no_workers(self):
+        # hard-killed workers (os._exit) break the pool; after recovery
+        # the executor's context manager must have reaped every child
+        result = batch_skyline_probabilities(
+            self._fresh(),
+            method="sam",
+            samples=40,
+            seed=3,
+            workers=2,
+            executor="process",
+            fault_injector=FaultInjector(seed=3, crash_rate=1.0, kind="exit"),
+            backoff=0.001,
+        )
+        assert result.failures == ()
+        assert _lingering_children() == []
+
+    @pytest.mark.slow
+    def test_interrupt_crossing_a_process_boundary_cleans_up(self):
+        # KeyboardInterrupt raised inside a pool worker: it crosses the
+        # process boundary, is not retried, and the pool is reaped
+        with pytest.raises(KeyboardInterrupt):
+            batch_skyline_probabilities(
+                self._fresh(),
+                method="sam",
+                samples=40,
+                seed=3,
+                workers=2,
+                executor="process",
+                on_error="raise",
+                fault_injector=FaultInjector(
+                    seed=0, poison={2}, exception=KeyboardInterrupt
+                ),
+            )
+        assert _lingering_children() == []

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import pickle
+
 import pytest
 
 from repro.errors import (
     ComputationBudgetError,
     DatasetError,
+    DeadlineExceededError,
     DimensionalityError,
     DuplicateObjectError,
     EstimationError,
@@ -14,6 +17,7 @@ from repro.errors import (
     InvalidProbabilityError,
     PreferenceError,
     ReproError,
+    RobustnessPolicyError,
     UnknownPreferenceError,
 )
 
@@ -62,6 +66,105 @@ class TestHierarchy:
 
         with pytest.raises(ReproError):
             Dataset([])
+
+
+def _raise_unknown_preference():
+    # module-level so a ProcessPoolExecutor worker can import and run it
+    raise UnknownPreferenceError(3, "left", "right")
+
+
+class TestPickleFidelity:
+    """Every library error must cross a process boundary intact.
+
+    ``batch_skyline_probabilities`` runs queries in worker processes;
+    their exceptions travel back through ``pickle``, which reconstructs an
+    exception as ``cls(*args)``.  Any subclass whose constructor signature
+    diverges from its ``args`` (historically
+    :class:`UnknownPreferenceError`) would arrive as an opaque
+    ``TypeError`` instead of the real error — so fidelity is pinned here
+    for the whole hierarchy.
+    """
+
+    ALL_ERRORS = [
+        ReproError,
+        DatasetError,
+        DimensionalityError,
+        DuplicateObjectError,
+        PreferenceError,
+        InvalidProbabilityError,
+        ComputationBudgetError,
+        DeadlineExceededError,
+        RobustnessPolicyError,
+        EstimationError,
+        ExperimentError,
+    ]
+
+    @pytest.mark.parametrize(
+        "exception", ALL_ERRORS, ids=lambda e: e.__name__
+    )
+    def test_message_errors_round_trip(self, exception):
+        original = exception("boom: the message")
+        clone = pickle.loads(pickle.dumps(original))
+        assert type(clone) is exception
+        assert clone.args == original.args
+        assert str(clone) == str(original)
+
+    def test_unknown_preference_error_round_trips_with_attributes(self):
+        original = UnknownPreferenceError(2, "alpha", "beta")
+        clone = pickle.loads(pickle.dumps(original))
+        assert type(clone) is UnknownPreferenceError
+        assert clone.dimension == 2
+        assert (clone.a, clone.b) == ("alpha", "beta")
+        assert str(clone) == str(original)
+        assert isinstance(clone, KeyError)
+
+    def test_unknown_preference_error_crosses_a_real_process_boundary(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(_raise_unknown_preference)
+            with pytest.raises(UnknownPreferenceError) as caught:
+                future.result()
+        assert caught.value.dimension == 3
+        assert (caught.value.a, caught.value.b) == ("left", "right")
+
+
+class TestRobustnessValidation:
+    """Satellite (a): malformed fault-tolerance parameters fail fast via
+    :func:`repro.core.bounds.validate_robustness` (the companion of
+    ``validate_accuracy``)."""
+
+    def test_accepts_none_and_sensible_values(self):
+        import numpy as np
+
+        from repro.core.bounds import validate_robustness
+
+        validate_robustness()
+        validate_robustness(deadline=0.5, max_retries=0, backoff=0.0)
+        validate_robustness(
+            deadline=np.float64(1.5), max_retries=np.int64(3), backoff=2
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"deadline": 0}, "deadline"),
+            ({"deadline": float("nan")}, "deadline"),
+            ({"max_retries": -1}, "max_retries"),
+            ({"max_retries": True}, "max_retries"),
+            ({"backoff": -0.01}, "backoff"),
+            ({"backoff": float("inf")}, "backoff"),
+        ],
+    )
+    def test_rejects_malformed_parameters(self, kwargs, match):
+        from repro.core.bounds import validate_robustness
+
+        with pytest.raises(RobustnessPolicyError, match=match):
+            validate_robustness(**kwargs)
+
+    def test_policy_error_sits_under_budget_errors(self):
+        assert issubclass(RobustnessPolicyError, ComputationBudgetError)
+        assert issubclass(DeadlineExceededError, ComputationBudgetError)
 
 
 class TestAccuracyValidation:
