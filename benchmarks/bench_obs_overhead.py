@@ -1,0 +1,96 @@
+"""Benchmark: cost of the ``repro.obs`` instrumentation hooks.
+
+Instrumentation is disabled by default and must be effectively free in
+that state: every hook in the engine, batch planner, exact kernels,
+samplers and preprocessing is one module-global boolean check, and
+``stage()`` returns a shared no-op context manager.  The acceptance bar
+is **under 3% overhead** for the fully hooked engine loop against the
+raw algorithm core (preprocess + per-partition Det with a shared
+dominance cache).
+
+The enabled row pays for real work — ``perf_counter`` reads, registry
+writes, a :class:`~repro.obs.QueryStats` per query — but may never
+change an answer, and every counter it records must match the provenance
+the results already carry.  ``results/obs_overhead.{json,md}`` records
+the measured ratios (``python -m repro.bench run obs_overhead``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.core.dominance import DominanceCache
+from repro.core.engine import SkylineProbabilityEngine
+from repro.core.exact import skyline_probability_det
+from repro.core.preprocess import preprocess
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.procedural import HashedPreferenceModel
+
+
+def make_workload(n=60, d=4, *, seed=5, preference_seed=6):
+    """The Fig. 9/13 block-zipf shape at a benchmark-friendly scale."""
+    dataset = block_zipf_dataset(n, d, seed=seed)
+    preferences = HashedPreferenceModel(d, seed=preference_seed)
+    return dataset, preferences
+
+
+def core_loop(dataset, preferences):
+    """The raw algorithm: Theorem 4 product over Det, no engine."""
+    cache = DominanceCache(preferences)
+    answers = []
+    for index in range(len(dataset)):
+        competitors = list(dataset.others(index))
+        prep = preprocess(
+            competitors, dataset[index], preferences=preferences, cache=cache
+        )
+        probability = 1.0
+        for part in prep.partitions:
+            group = [competitors[i] for i in part]
+            result = skyline_probability_det(
+                preferences, group, dataset[index], cache=cache
+            )
+            probability *= result.probability
+            if probability == 0.0:
+                break
+        answers.append(probability)
+    return answers
+
+
+def engine_loop(dataset, preferences):
+    """The fully hooked engine path (obs state left as-is)."""
+    engine = SkylineProbabilityEngine(dataset, preferences)
+    cache = DominanceCache(preferences)
+    return [
+        engine.skyline_probability(
+            index, method="det+", cache=cache
+        ).probability
+        for index in range(len(dataset))
+    ]
+
+
+def test_core_loop_baseline(benchmark):
+    dataset, preferences = make_workload()
+    answers = benchmark.pedantic(
+        core_loop, args=(dataset, preferences), rounds=3, iterations=1
+    )
+    assert len(answers) == len(dataset)
+
+
+@pytest.mark.parametrize("instrumented", [False, True], ids=["off", "on"])
+def test_engine_loop(benchmark, instrumented):
+    dataset, preferences = make_workload()
+
+    def run():
+        with obs.enabled(instrumented):
+            return engine_loop(dataset, preferences)
+
+    answers = benchmark.pedantic(run, rounds=3, iterations=1)
+    # instrumentation must never change the answers
+    assert answers == core_loop(dataset, preferences)
+
+
+def test_disabled_stage_guard(benchmark):
+    obs.disable()
+    timer = benchmark(obs.stage, "exact")
+    assert timer is obs.stage("exact")  # the shared no-op singleton

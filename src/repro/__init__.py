@@ -67,6 +67,7 @@ from repro.core import (
     validate_coverage,
 )
 from repro.errors import ReproError
+from repro.obs import BatchStats, QueryStats
 from repro.robustness import FaultInjector, InjectedFault, UnpicklableModel
 
 __version__ = "1.0.0"
@@ -87,6 +88,8 @@ __all__ = [
     "FaultInjector",
     "InjectedFault",
     "UnpicklableModel",
+    "QueryStats",
+    "BatchStats",
     "ExactResult",
     "SamplingResult",
     "AbsorptionResult",

@@ -8,6 +8,7 @@ Usage::
     python -m repro skyline --dataset d.json --preferences p.json --tau 0.3
     python -m repro topk    --dataset d.json --preferences p.json -k 5 --pruned
     python -m repro info    --dataset d.json --preferences p.json
+    python -m repro stats   --dataset d.json --preferences p.json --prometheus
 
 Datasets and preference models load from the JSON formats written by
 :mod:`repro.io` (``.csv`` inputs are also accepted: objects one-per-row,
@@ -189,6 +190,47 @@ def _cmd_info(arguments: argparse.Namespace) -> int:
     return 0 if not missing else 3
 
 
+def _cmd_stats(arguments: argparse.Namespace) -> int:
+    import repro.obs as obs
+    from repro.core.batch import batch_skyline_probabilities
+
+    dataset, preferences = _load_inputs(arguments)
+    engine = SkylineProbabilityEngine(dataset, preferences)
+    with obs.enabled() as registry:
+        registry.reset()
+        if arguments.target is not None:
+            report = engine.skyline_probability(
+                arguments.target, **_query_options(arguments)
+            )
+            record = report.stats.as_dict() if report.stats else {}
+            probability: object = report.probability
+        else:
+            result = batch_skyline_probabilities(
+                engine, workers=1, **_query_options(arguments)
+            )
+            record = result.stats.as_dict() if result.stats else {}
+            probability = list(result.probabilities)
+        exposition = registry.to_prometheus()
+        snapshot = registry.to_dict()
+    if arguments.prometheus:
+        print(exposition, end="")
+        return 0
+    payload = {
+        "probability": probability,
+        "stats": record,
+        "registry": snapshot,
+    }
+    lines = [
+        f"{name}: {value}"
+        for name, value in record.items()
+        if name != "stage_seconds"
+    ]
+    for stage, seconds in record.get("stage_seconds", {}).items():
+        lines.append(f"stage_seconds[{stage}]: {seconds:.6f}")
+    _emit(payload, arguments.json, lines)
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -236,6 +278,22 @@ def _build_parser() -> argparse.ArgumentParser:
     info = commands.add_parser("info", help="dataset/preference statistics")
     add_common(info)
     info.set_defaults(handler=_cmd_info)
+
+    stats = commands.add_parser(
+        "stats",
+        help="run queries with repro.obs instrumentation enabled and "
+        "report the provenance record plus the metric registry",
+    )
+    add_common(stats)
+    stats.add_argument(
+        "--target", type=int, default=None,
+        help="object index for a single query (default: whole-dataset batch)",
+    )
+    stats.add_argument(
+        "--prometheus", action="store_true",
+        help="emit the Prometheus text exposition instead of the record",
+    )
+    stats.set_defaults(handler=_cmd_stats)
     return parser
 
 

@@ -1237,3 +1237,173 @@ def run_robustness_overhead(scale: str) -> List[ExperimentTable]:
             },
         )
     return [table]
+
+
+@register(
+    "obs_overhead",
+    "Cost of the repro.obs instrumentation hooks, disabled and enabled",
+    "Section 1 (the all-objects sky operator)",
+)
+def run_obs_overhead(scale: str) -> List[ExperimentTable]:
+    import repro.obs as obs
+    from repro.core.exact import ExactResult
+
+    n, d = (200, 4) if scale == "full" else (40, 3)
+
+    # Fresh engine per measurement: engines memoise exact answers, so a
+    # reused instance would time cache hits rather than the algorithms.
+    def fresh() -> SkylineProbabilityEngine:
+        return _blockzipf_engine(n, d, seed=221, preference_seed=222)
+
+    def core_loop() -> List[float]:
+        # the raw algorithm: preprocess + per-partition Det with the
+        # Theorem 4 product and early break, shared dominance cache —
+        # everything the engine does minus its bookkeeping (validation,
+        # memo keys, report/stats construction)
+        engine = fresh()
+        preferences = engine.preferences
+        dataset = engine.dataset
+        cache = DominanceCache(preferences)
+        answers: List[float] = []
+        for index in range(n):
+            competitors = list(dataset.others(index))
+            prep = preprocess(
+                competitors, dataset[index],
+                preferences=preferences, cache=cache,
+            )
+            probability = 1.0
+            for part in prep.partitions:
+                group = [competitors[i] for i in part]
+                result = skyline_probability_det(
+                    preferences, group, dataset[index], cache=cache
+                )
+                probability *= result.probability
+                if probability == 0.0:
+                    break
+            answers.append(probability)
+        return answers
+
+    def engine_loop() -> List[float]:
+        engine = fresh()
+        cache = DominanceCache(engine.preferences)
+        return [
+            engine.skyline_probability(
+                index, method="det+", cache=cache
+            ).probability
+            for index in range(n)
+        ]
+
+    def observed_batch():
+        engine = fresh()
+        cache = DominanceCache(engine.preferences)
+        with obs.enabled() as registry:
+            registry.reset()
+            result = batch_skyline_probabilities(
+                engine, method="det+", workers=1, cache=cache
+            )
+            counters = registry.to_dict()
+        return result, counters
+
+    def stats_consistent(result, counters) -> bool:
+        # acceptance check: the aggregated stats and the registry agree
+        # with the provenance the sub-results already carry
+        stats = result.stats
+        terms = sum(
+            part.terms_evaluated
+            for report in result.reports
+            for part in report.partition_results
+            if isinstance(part, ExactResult)
+        )
+        recorded = counters["repro_ie_terms_evaluated_total"]["series"]
+        return (
+            stats is not None
+            and stats.terms_evaluated == terms
+            and stats.cache_hits == result.cache_hits
+            and stats.cache_misses == result.cache_misses
+            and stats.queries == n
+            and recorded[0]["value"] == terms
+            and all(
+                report.stats.terms_evaluated
+                == sum(
+                    part.terms_evaluated
+                    for part in report.partition_results
+                    if isinstance(part, ExactResult)
+                )
+                for report in result.reports
+            )
+        )
+
+    # Interleaved best-of-3: the loops take seconds each, so a single
+    # shot is at the mercy of CPU frequency drift; cycling the three
+    # configurations and keeping each one's fastest run cancels it.
+    obs.disable()
+    core_seconds = disabled_seconds = enabled_seconds = float("inf")
+    for _ in range(3):
+        core_answers, seconds = time_call(core_loop)
+        core_seconds = min(core_seconds, seconds)
+        disabled_answers, seconds = time_call(engine_loop)
+        disabled_seconds = min(disabled_seconds, seconds)
+        (observed, counters), seconds = time_call(observed_batch)
+        enabled_seconds = min(enabled_seconds, seconds)
+
+    # the disabled guard itself, amortised: one boolean check per hook
+    def guard_microbenchmark(calls: int = 200_000) -> float:
+        _, seconds = time_call(
+            lambda: [obs.stage("exact") for _ in range(calls)]
+        )
+        return seconds / calls  # seconds per disabled hook
+
+    table = ExperimentTable(
+        "obs_overhead",
+        f"Instrumentation overhead (block-zipf n={n}, d={d}, Det+)",
+        columns=(
+            "configuration", "seconds", "overhead vs core",
+            "identical", "counters match",
+        ),
+        paper_reference="Section 1 (Figures 9/13 workload shape)",
+        expectation=(
+            "with instrumentation disabled (the default) the fully "
+            "hooked engine loop stays within 3% of the raw algorithm "
+            "core — the hooks cost one module-global boolean each; "
+            "enabling instrumentation pays for timers and registry "
+            "writes but never changes an answer, and every recorded "
+            "counter matches the provenance the results already carry"
+        ),
+    )
+    table.add_row(
+        configuration="algorithm core loop (no engine)",
+        seconds=core_seconds,
+        **{
+            "overhead vs core": 1.0,
+            "identical": True,
+            "counters match": "n/a",
+        },
+    )
+    table.add_row(
+        configuration="engine loop, obs disabled",
+        seconds=disabled_seconds,
+        **{
+            "overhead vs core": disabled_seconds / core_seconds,
+            "identical": disabled_answers == core_answers,
+            "counters match": "n/a",
+        },
+    )
+    table.add_row(
+        configuration="engine batch, obs enabled",
+        seconds=enabled_seconds,
+        **{
+            "overhead vs core": enabled_seconds / core_seconds,
+            "identical": list(observed.probabilities) == core_answers,
+            "counters match": stats_consistent(observed, counters),
+        },
+    )
+    table.add_row(
+        configuration="disabled hook guard (seconds/call)",
+        seconds=guard_microbenchmark(),
+        **{
+            "overhead vs core": 0.0,
+            "identical": True,
+            "counters match": "n/a",
+        },
+    )
+    return [table]

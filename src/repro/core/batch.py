@@ -65,6 +65,7 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Dict, List, Sequence, Tuple
 
+import repro.obs as obs
 from repro.core.bounds import validate_accuracy, validate_robustness
 from repro.core.dominance import DominanceCache
 from repro.core.engine import (
@@ -76,6 +77,7 @@ from repro.core.engine import (
 from repro.core.objects import Dataset
 from repro.core.preferences import PreferenceModel
 from repro.errors import ReproError, RobustnessPolicyError
+from repro.obs import BatchStats
 from repro.util.rng import spawn_rngs
 
 __all__ = [
@@ -136,6 +138,11 @@ class BatchResult:
     dominance cache's memo lookups performed by this batch (summed over
     worker processes); ``workers`` records the fan-out actually used;
     ``retries`` the number of re-dispatched task attempts.
+
+    ``stats`` is a :class:`~repro.obs.BatchStats` aggregate of the whole
+    batch's provenance (terms, samples, reductions, degradations, cache
+    traffic, wall-clock) when :mod:`repro.obs` instrumentation is
+    enabled, ``None`` otherwise.
     """
 
     indices: Tuple[int, ...]
@@ -146,6 +153,7 @@ class BatchResult:
     cache_misses: int = 0
     failures: Tuple[BatchFailure, ...] = ()
     retries: int = 0
+    stats: BatchStats | None = None
 
     @property
     def probabilities(self) -> Tuple[float, ...]:
@@ -216,6 +224,7 @@ def _solve_chunk(
     method: str,
     query_options: dict,
     injector: object,
+    observe: bool,
     attempt: int,
     tasks: List[_Task],
 ) -> Tuple[List[Tuple[int, SkylineReport]], int, int]:
@@ -228,7 +237,14 @@ def _solve_chunk(
     surfaces on its future; the coordinator re-dispatches in-process where
     per-object recovery is cheap.  Returns the chunk's
     ``(position, report)`` pairs plus its cache hit/miss counts.
+
+    ``observe`` carries the coordinator's :mod:`repro.obs` switch into
+    the worker explicitly — spawn-style pools do not inherit module
+    globals — so per-query ``stats`` records ride on the pickled reports
+    regardless of the pool's start method.
     """
+    if observe and not obs.is_enabled():
+        obs.enable()
     engine = SkylineProbabilityEngine(
         dataset, preferences, max_exact_objects=max_exact_objects
     )
@@ -467,6 +483,8 @@ def batch_skyline_probabilities(
         )
     n = len(index_list)
     workers = _resolve_workers(workers, n)
+    collect = obs.is_enabled()
+    started = time.perf_counter() if collect else 0.0
     if n == 0:
         return BatchResult((), (), method, workers)
 
@@ -543,6 +561,7 @@ def batch_skyline_probabilities(
                 method,
                 query_options,
                 fault_injector,
+                collect,
             )
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 future_map = {}
@@ -589,15 +608,54 @@ def batch_skyline_probabilities(
                     absorb(recover(entry))
 
     answered = sorted(results)
+    reports = tuple(results[position] for position in answered)
+    cache_hits = cache.hits - hits_before + child_hits
+    cache_misses = cache.misses - misses_before + child_misses
+    stats = None
+    if collect:
+        stats = BatchStats.from_reports(
+            reports,
+            queries=n,
+            failed=len(failure_map),
+            retries=retries,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            wall_seconds=time.perf_counter() - started,
+        )
+        _record_batch(stats)
     return BatchResult(
         tuple(index_list[position] for position in answered),
-        tuple(results[position] for position in answered),
+        reports,
         method,
         workers,
-        cache_hits=cache.hits - hits_before + child_hits,
-        cache_misses=cache.misses - misses_before + child_misses,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
         failures=tuple(
             failure_map[position] for position in sorted(failure_map)
         ),
         retries=retries,
+        stats=stats,
     )
+
+
+def _record_batch(stats: BatchStats) -> None:
+    """Publish one batch run's registry counters (obs is known enabled)."""
+    registry = obs.registry()
+    registry.counter(
+        "repro_batches_total", "Completed batch planner runs."
+    ).inc()
+    registry.counter(
+        "repro_batch_queries_total", "Objects submitted to batch runs."
+    ).inc(stats.queries)
+    if stats.retries:
+        registry.counter(
+            "repro_batch_retries_total", "Re-dispatched batch task attempts."
+        ).inc(stats.retries)
+    if stats.failed:
+        registry.counter(
+            "repro_batch_failures_total",
+            "Objects salvaged as permanent failures.",
+        ).inc(stats.failed)
+    registry.histogram(
+        "repro_batch_seconds", "Wall-clock seconds per batch run."
+    ).observe(stats.wall_seconds)

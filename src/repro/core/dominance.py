@@ -178,6 +178,19 @@ class DominanceCache:
         """Currently memoised entries across both tables."""
         return len(self._prefers) + len(self._factors)
 
+    def counters(self) -> Dict[str, int]:
+        """Bookkeeping snapshot: ``{"hits", "misses", "entries"}``.
+
+        These are the numbers :class:`repro.obs.QueryStats` cache deltas
+        are measured against; the stats CLI and the observability tests
+        read them through this one accessor.
+        """
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "entries": self.entries,
+        }
+
     def clear(self) -> None:
         """Drop every memoised entry (counters are kept)."""
         self._prefers.clear()

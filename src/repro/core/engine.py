@@ -28,9 +28,10 @@ single-object query: all-objects probabilities, the probabilistic skyline
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Sequence, Tuple
 
+import repro.obs as obs
 from repro.core.bounds import validate_accuracy, validate_robustness
 from repro.core.dominance import DominanceCache
 from repro.core.exact import (
@@ -51,6 +52,7 @@ from repro.errors import (
     ReproError,
     RobustnessPolicyError,
 )
+from repro.obs import QueryStats, query_stats_from_report
 from repro.util.rng import as_rng
 
 __all__ = ["SkylineProbabilityEngine", "SkylineReport", "METHODS", "DEADLINE_POLICIES"]
@@ -77,6 +79,13 @@ class SkylineReport:
     its wall-clock ``deadline`` and the engine fell back to the
     ``(ε, δ)``-bounded ``Sam`` estimator; ``degradation_reason`` then
     records why (and ``method`` names the method actually used).
+
+    ``duplicate_target`` marks an external-object query whose target
+    equals a dataset object: by the duplicate convention that object
+    dominates with probability 1, so ``probability`` is exactly 0 and no
+    algorithm ran.  ``stats`` is a :class:`~repro.obs.QueryStats`
+    provenance record when :mod:`repro.obs` instrumentation is enabled,
+    ``None`` otherwise (the disabled-by-default contract).
     """
 
     probability: float
@@ -87,6 +96,8 @@ class SkylineReport:
     samples: int = 0
     degraded: bool = False
     degradation_reason: str | None = None
+    duplicate_target: bool = False
+    stats: QueryStats | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability <= 1.0:
@@ -191,7 +202,7 @@ class SkylineProbabilityEngine:
         bit-for-bit answer, per-term accounting); ``sam``/``sam+``/
         ``naive`` have predictable cost and ignore the deadline.
         """
-        competitors, target_values = self._resolve_target(target)
+        competitors, target_values, duplicate = self._resolve_target(target)
         if method not in METHODS:
             raise ReproError(
                 f"unknown method {method!r}; expected one of {METHODS}"
@@ -208,8 +219,13 @@ class SkylineProbabilityEngine:
                 f"unknown on_deadline policy {on_deadline!r}; expected one "
                 f"of {DEADLINE_POLICIES}"
             )
+        # `duplicate` is part of the key: an index query for object i and
+        # an external-object query for the same values are *different*
+        # questions (the former excludes object i from the competitors,
+        # the latter answers 0 by the duplicate convention).
         cache_key = (
             target_values,
+            duplicate,
             method,
             use_absorption,
             use_partition,
@@ -217,25 +233,71 @@ class SkylineProbabilityEngine:
         )
         cached = self._exact_cache.get(cache_key)
         if cached is not None:
+            obs.count(
+                "repro_queries_total",
+                help_text="Engine queries answered, by method and outcome.",
+                method=method,
+                outcome="memoised",
+            )
             return cached
         deadline_at = (
             None if deadline is None else time.monotonic() + deadline
         )
-        try:
-            report = self._answer(
-                competitors, target_values, method,
-                epsilon=epsilon, delta=delta, samples=samples, seed=seed,
-                use_absorption=use_absorption, use_partition=use_partition,
-                det_kernel=det_kernel, cache=cache, deadline_at=deadline_at,
+        collect = obs.is_enabled()
+        started = time.perf_counter() if collect else 0.0
+        hits_before = misses_before = 0
+        if collect and cache is not None:
+            hits_before, misses_before = cache.hits, cache.misses
+        scope = obs.query_scope()
+        with scope, obs.stage("query"):
+            if duplicate:
+                # An equal dataset object dominates the target with
+                # probability 1 (duplicate convention), so sky = 0
+                # exactly — the same answer skyline_probability_det /
+                # _prepare return directly.  No algorithm runs.
+                report = SkylineReport(
+                    0.0, method, True, duplicate_target=True
+                )
+            else:
+                try:
+                    report = self._answer(
+                        competitors, target_values, method,
+                        epsilon=epsilon, delta=delta, samples=samples,
+                        seed=seed, use_absorption=use_absorption,
+                        use_partition=use_partition, det_kernel=det_kernel,
+                        cache=cache, deadline_at=deadline_at,
+                    )
+                except DeadlineExceededError as expiry:
+                    if on_deadline == "raise":
+                        raise
+                    report = self._degrade_to_sampling(
+                        competitors, target_values, method,
+                        epsilon=epsilon, delta=delta, samples=samples,
+                        seed=seed, cache=cache, deadline=deadline,
+                        expiry=expiry,
+                    )
+        if collect:
+            cache_hits = cache_misses = 0
+            if cache is not None:
+                cache_hits = cache.hits - hits_before
+                cache_misses = cache.misses - misses_before
+            if duplicate:
+                outcome = "duplicate_target"
+            elif report.degraded:
+                outcome = "degraded"
+            else:
+                outcome = "answered"
+            stats = query_stats_from_report(
+                report,
+                outcome=outcome,
+                competitors=len(competitors),
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+                wall_seconds=time.perf_counter() - started,
+                stage_seconds=scope.stage_seconds,
             )
-        except DeadlineExceededError as expiry:
-            if on_deadline == "raise":
-                raise
-            report = self._degrade_to_sampling(
-                competitors, target_values, method,
-                epsilon=epsilon, delta=delta, samples=samples, seed=seed,
-                cache=cache, deadline=deadline, expiry=expiry,
-            )
+            report = replace(report, stats=stats)
+            _record_query(stats)
         if report.exact:
             self._exact_cache[cache_key] = report
         return report
@@ -559,15 +621,56 @@ class SkylineProbabilityEngine:
     # ------------------------------------------------------------------
     def _resolve_target(
         self, target: int | Sequence[Value]
-    ) -> Tuple[List[ObjectValues], ObjectValues]:
-        """Competitor list + target values for an index or object query."""
+    ) -> Tuple[List[ObjectValues], ObjectValues, bool]:
+        """``(competitors, target values, duplicate?)`` for one query.
+
+        For an external-object target the *whole* dataset competes; a
+        dataset object equal to the target makes ``duplicate`` true, and
+        the query must answer ``sky = 0`` by the duplicate convention —
+        dropping the equal object instead would silently change the
+        semantics versus a direct :func:`skyline_probability_det` call.
+        """
         if isinstance(target, int):
-            return list(self._dataset.others(target)), self._dataset[target]
+            return (
+                list(self._dataset.others(target)),
+                self._dataset[target],
+                False,
+            )
         values = as_object(target)
         if len(values) != self._dataset.dimensionality:
             raise DimensionalityError(
                 f"target has {len(values)} dimensions, dataset has "
                 f"{self._dataset.dimensionality}"
             )
-        competitors = [obj for obj in self._dataset if obj != values]
-        return competitors, values
+        competitors = list(self._dataset)
+        duplicate = any(obj == values for obj in competitors)
+        return competitors, values, duplicate
+
+
+def _record_query(stats: QueryStats) -> None:
+    """Publish one query's registry counters (obs is known enabled)."""
+    registry = obs.registry()
+    registry.counter(
+        "repro_queries_total",
+        "Engine queries answered, by method and outcome.",
+    ).inc(method=stats.method, outcome=stats.outcome)
+    if stats.cache_hits:
+        registry.counter(
+            "repro_cache_hits_total",
+            "DominanceCache lookups served from the memo tables.",
+        ).inc(stats.cache_hits)
+    if stats.cache_misses:
+        registry.counter(
+            "repro_cache_misses_total",
+            "DominanceCache lookups that computed and stored an entry.",
+        ).inc(stats.cache_misses)
+    if stats.degraded:
+        registry.counter(
+            "repro_degraded_total",
+            "Exact queries degraded to Sam by an expired deadline.",
+        ).inc()
+    if stats.duplicate_target:
+        registry.counter(
+            "repro_duplicate_targets_total",
+            "Queries answered 0 by the duplicate-target convention.",
+        ).inc()

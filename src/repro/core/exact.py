@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+import repro.obs as obs
 from repro.core.dominance import DominanceCache, DominanceFactor, factor_source
 from repro.core.objects import Value
 from repro.core.preferences import PreferenceModel
@@ -190,7 +191,14 @@ def skyline_probability_det(
     _check_deadline(deadline_at, 0)
     factor_lists = _prepare_factor_lists(preferences, competitors, target, cache)
     if factor_lists is None:
-        return ExactResult(0.0, 0, len(competitors))
+        # Duplicate convention: an equal competitor dominates with
+        # probability 1, so sky = 0 and *no* object survives the filter
+        # to take part in any enumeration — objects_used is 0.
+        obs.count(
+            "repro_duplicate_targets_total",
+            help_text="Queries answered 0 by the duplicate-target convention.",
+        )
+        return ExactResult(0.0, 0, 0)
     n = len(factor_lists)
     if n > max_objects:
         raise ComputationBudgetError(
@@ -198,11 +206,33 @@ def skyline_probability_det(
             f"2^{n} terms, beyond the max_objects={max_objects} budget; "
             f"preprocess (absorption/partition) or use sampling"
         )
-    if not share_computation:
-        return _det_without_sharing(factor_lists, max_terms, deadline_at)
-    if kernel == "reference" or max_terms is not None or deadline_at is not None:
-        return _det_shared_reference(factor_lists, max_terms, deadline_at)
-    return _det_shared_fast(factor_lists)
+    with obs.stage("exact"):
+        if not share_computation:
+            result = _det_without_sharing(factor_lists, max_terms, deadline_at)
+        elif kernel == "reference" or max_terms is not None or deadline_at is not None:
+            result = _det_shared_reference(factor_lists, max_terms, deadline_at)
+        else:
+            result = _det_shared_fast(factor_lists)
+    _record_exact(result)
+    return result
+
+
+def _record_exact(result: ExactResult) -> None:
+    """Publish one exact run's counters (no-op while obs is disabled)."""
+    if not obs.is_enabled():
+        return
+    registry = obs.registry()
+    registry.counter(
+        "repro_ie_terms_evaluated_total",
+        "Inclusion-exclusion terms actually visited (Equation 4).",
+    ).inc(result.terms_evaluated)
+    registry.counter(
+        "repro_ie_terms_zero_pruned_total",
+        "Inclusion-exclusion terms skipped by zero pruning.",
+    ).inc((1 << result.objects_used) - 1 - result.terms_evaluated)
+    registry.counter(
+        "repro_exact_runs_total", "Completed Det kernel invocations."
+    ).inc()
 
 
 def _index_factors(

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set, Tuple
 
+import repro.obs as obs
 from repro.core.dominance import DominanceCache, factor_source
 from repro.core.objects import ObjectValues, Value, as_object
 from repro.core.preferences import PreferenceModel
@@ -64,7 +65,8 @@ class AbsorptionResult:
 
     ``kept_indices`` are positions (into the original competitor sequence)
     of survivors, in their original order; ``absorbed_by`` maps each
-    removed competitor to the survivor whose scan removed it.
+    removed competitor to the *surviving* competitor that (transitively)
+    absorbed it — every value is a member of ``kept_indices``.
     """
 
     kept_indices: Tuple[int, ...]
@@ -116,6 +118,17 @@ def absorb(
                 for key in keys[candidate]:
                     buckets[key].discard(candidate)
     kept = tuple(position for position, ok in enumerate(alive) if ok)
+    # A scanner can itself be absorbed by a *later* scan (reachable when
+    # Γ(Y) ⊆ Γ(X) ⊆ Γ(Z) with Y positioned after X: X's scan removes Z,
+    # then Y's removes X), which would leave Z mapped to a non-survivor.
+    # Follow each chain to its final survivor — sound by transitivity
+    # (Corollary 1) and acyclic because a removed competitor never scans,
+    # so mutual absorption is impossible.
+    for removed in list(absorbed_by):
+        absorber = absorbed_by[removed]
+        while absorber in absorbed_by:
+            absorber = absorbed_by[absorber]
+        absorbed_by[removed] = absorber
     return AbsorptionResult(kept, absorbed_by)
 
 
@@ -237,27 +250,52 @@ def preprocess(
                 f"competitor {position} equals the target {target!r}; "
                 f"sky(target) would be 0 by the duplicate convention"
             )
-    if use_absorption:
-        absorption = absorb(competitors, target)
-    else:
-        absorption = AbsorptionResult(tuple(range(len(competitors))), {})
-    kept: Sequence[int] = absorption.kept_indices
-    dropped: Tuple[int, ...] = ()
-    if preferences is not None:
-        possible, impossible = drop_never_dominators(
-            preferences, competitors, target, kept, cache=cache
-        )
-        kept, dropped = possible, tuple(impossible)
-    if use_partition:
-        partitions = tuple(
-            tuple(part) for part in partition(competitors, target, kept)
-        )
-    else:
-        partitions = (tuple(kept),) if kept else ()
-    return PreprocessResult(
+    with obs.stage("preprocess"):
+        if use_absorption:
+            absorption = absorb(competitors, target)
+        else:
+            absorption = AbsorptionResult(tuple(range(len(competitors))), {})
+        kept: Sequence[int] = absorption.kept_indices
+        dropped: Tuple[int, ...] = ()
+        if preferences is not None:
+            possible, impossible = drop_never_dominators(
+                preferences, competitors, target, kept, cache=cache
+            )
+            kept, dropped = possible, tuple(impossible)
+        if use_partition:
+            partitions = tuple(
+                tuple(part) for part in partition(competitors, target, kept)
+            )
+        else:
+            partitions = (tuple(kept),) if kept else ()
+    result = PreprocessResult(
         target=target,
         kept_indices=tuple(kept),
         absorbed_by=dict(absorption.absorbed_by),
         dropped_impossible=dropped,
         partitions=partitions,
     )
+    _record_preprocess(result)
+    return result
+
+
+def _record_preprocess(result: PreprocessResult) -> None:
+    """Publish one preprocessing run's reductions (no-op while disabled)."""
+    if not obs.is_enabled():
+        return
+    registry = obs.registry()
+    registry.counter(
+        "repro_preprocess_runs_total", "Completed preprocessing pipelines."
+    ).inc()
+    registry.counter(
+        "repro_preprocess_absorbed_total",
+        "Competitors removed by absorption (Theorem 3).",
+    ).inc(len(result.absorbed_by))
+    registry.counter(
+        "repro_preprocess_dropped_impossible_total",
+        "Competitors dropped by the zero-probability filter.",
+    ).inc(len(result.dropped_impossible))
+    registry.counter(
+        "repro_preprocess_partitions_total",
+        "Value-disjoint components produced by partitioning (Theorem 4).",
+    ).inc(len(result.partitions))

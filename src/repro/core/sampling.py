@@ -33,6 +33,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.bounds import hoeffding_error, hoeffding_sample_size
 from repro.core.dominance import DominanceCache, factor_source
 from repro.core.objects import Value
@@ -204,9 +205,13 @@ def skyline_probability_sampled(
     sample_count = _resolve_sample_size(samples, epsilon, delta)
     prepared = _prepare(preferences, competitors, target, sort_by_dominance, cache)
     if prepared.certain_dominator:
-        return SamplingResult(0.0, sample_count, 0, "closed-form", 0)
+        return _record_sampling(
+            SamplingResult(0.0, sample_count, 0, "closed-form", 0)
+        )
     if not prepared.competitor_pairs:
-        return SamplingResult(1.0, sample_count, sample_count, "closed-form", 0)
+        return _record_sampling(
+            SamplingResult(1.0, sample_count, sample_count, "closed-form", 0)
+        )
     if method == "auto":
         workload = sample_count * len(prepared.competitor_pairs)
         # A near-certain dominator means the sorted lazy sampler rejects
@@ -219,16 +224,38 @@ def skyline_probability_sampled(
             method = "lazy"
         else:
             method = "vectorized"
-    if method == "lazy":
-        return _sample_lazy(prepared, sample_count, seed)
-    if method == "vectorized":
-        return _sample_vectorized(prepared, sample_count, seed, chunk_size)
-    if method == "antithetic":
-        return _sample_antithetic(prepared, sample_count, seed, chunk_size)
-    raise EstimationError(
-        f"unknown sampling method {method!r}; expected "
-        f"'lazy', 'vectorized', 'antithetic' or 'auto'"
-    )
+    with obs.stage("sampling"):
+        if method == "lazy":
+            result = _sample_lazy(prepared, sample_count, seed)
+        elif method == "vectorized":
+            result = _sample_vectorized(prepared, sample_count, seed, chunk_size)
+        elif method == "antithetic":
+            result = _sample_antithetic(prepared, sample_count, seed, chunk_size)
+        else:
+            raise EstimationError(
+                f"unknown sampling method {method!r}; expected "
+                f"'lazy', 'vectorized', 'antithetic' or 'auto'"
+            )
+    return _record_sampling(result)
+
+
+def _record_sampling(result: SamplingResult) -> SamplingResult:
+    """Publish one sampler run's counters (no-op while obs is disabled)."""
+    if not obs.is_enabled():
+        return result
+    registry = obs.registry()
+    registry.counter(
+        "repro_sampler_runs_total",
+        "Completed Sam estimator runs, by sampler.",
+    ).inc(method=result.method)
+    registry.counter(
+        "repro_samples_total", "Possible worlds drawn by the Sam estimators."
+    ).inc(result.samples)
+    registry.counter(
+        "repro_sampler_checks_total",
+        "Individual competitor-dominance evaluations (early-exit depth).",
+    ).inc(result.checks)
+    return result
 
 
 def _sample_lazy(
@@ -380,23 +407,33 @@ def skyline_probability_sequential(
     ceiling = hoeffding_sample_size(epsilon, delta)
     max_batches = -(-ceiling // batch_size)  # ceil division
     prepared = _prepare(preferences, competitors, target, sort_by_dominance, cache)
+    # Closed forms report the full Hoeffding count, exactly like
+    # skyline_probability_sampled: the answer carries (at least) that
+    # sample size's certainty, and error_radius() stays meaningful.
     if prepared.certain_dominator:
-        return SamplingResult(0.0, batch_size, 0, "closed-form", 0)
+        return _record_sampling(
+            SamplingResult(0.0, ceiling, 0, "closed-form", 0)
+        )
     if not prepared.competitor_pairs:
-        return SamplingResult(1.0, batch_size, batch_size, "closed-form", 0)
+        return _record_sampling(
+            SamplingResult(1.0, ceiling, ceiling, "closed-form", 0)
+        )
     rng = as_rng(seed)
     per_test_delta = delta / max_batches
     samples = 0
     successes = 0
     checks = 0
-    while samples < ceiling:
-        chunk = min(batch_size, ceiling - samples)
-        batch = _sample_vectorized(prepared, chunk, rng, chunk)
-        samples += batch.samples
-        successes += batch.successes
-        checks += batch.checks
-        if hoeffding_error(samples, per_test_delta) <= epsilon:
-            break
-    return SamplingResult(
-        successes / samples, samples, successes, "sequential", checks
+    with obs.stage("sampling"):
+        while samples < ceiling:
+            chunk = min(batch_size, ceiling - samples)
+            batch = _sample_vectorized(prepared, chunk, rng, chunk)
+            samples += batch.samples
+            successes += batch.successes
+            checks += batch.checks
+            if hoeffding_error(samples, per_test_delta) <= epsilon:
+                break
+    return _record_sampling(
+        SamplingResult(
+            successes / samples, samples, successes, "sequential", checks
+        )
     )

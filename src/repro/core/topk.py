@@ -139,6 +139,13 @@ def estimate_all_skyline_probabilities(
     )
     n = len(dataset)
     successes = np.zeros(n, dtype=np.int64)
+    # columns[a, b_index, :] for all a != b_index.  The requirement
+    # gathers are world-independent, so build them once instead of
+    # re-running np.delete for every (chunk, object) pair.
+    requirements = [
+        np.delete(columns[:, b_index, :], b_index, axis=0)
+        for b_index in range(n)
+    ]
     remaining = samples
     while remaining > 0:
         chunk = min(chunk_size, remaining)
@@ -154,9 +161,7 @@ def estimate_all_skyline_probabilities(
             ],
             axis=1,
         )
-        for b_index in range(n):
-            # columns[a, b_index, :] for all a != b_index
-            requirement = np.delete(columns[:, b_index, :], b_index, axis=0)
+        for b_index, requirement in enumerate(requirements):
             gathered = resolved[:, requirement]  # (chunk, n-1, d)
             dominated = gathered.all(axis=2).any(axis=1)
             successes[b_index] += int((~dominated).sum())

@@ -1,0 +1,231 @@
+"""``repro.obs`` — switchable instrumentation for the query pipeline.
+
+``sky(O)`` is #P-complete (Theorem 1), so production latency is
+inherently unpredictable; this package makes each query's budget
+*visible*: a process-global :class:`~repro.obs.registry.StatsRegistry`
+of counters/gauges/histograms, scoped stage timers, and the per-query /
+per-batch provenance records (:class:`~repro.obs.stats.QueryStats`,
+:class:`~repro.obs.stats.BatchStats`) that ride on
+``SkylineReport.stats`` / ``BatchResult.stats``.
+
+**Disabled by default, near-zero overhead when disabled.**  Every hook in
+the engine, batch planner, exact kernels, samplers and preprocessing is
+guarded by :func:`is_enabled`; the disabled path costs one module-global
+boolean check per hook (``stage`` returns one shared no-op context
+manager, no allocation), reports carry ``stats=None``, and nothing is
+written to the registry.  The registered ``obs_overhead`` experiment
+measures the disabled path against the raw algorithm core
+(``results/obs_overhead.md``).
+
+Enabling instrumentation never changes an answer: no hook touches a
+probability, an RNG stream, or a kernel's evaluation order (pinned
+bit-for-bit by the differential suite in ``tests/test_exact_kernels.py``).
+
+Usage::
+
+    import repro.obs as obs
+
+    obs.enable()                      # or: with obs.enabled(): ...
+    report = engine.skyline_probability(3, method="det+", cache=cache)
+    report.stats.terms_evaluated      # per-query provenance
+    print(obs.registry().to_prometheus())   # fleet-wide text exposition
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    StatsRegistry,
+)
+from repro.obs.stats import BatchStats, QueryStats, query_stats_from_report
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "StatsRegistry",
+    "DEFAULT_BUCKETS",
+    "QueryStats",
+    "BatchStats",
+    "query_stats_from_report",
+    "enable",
+    "disable",
+    "enabled",
+    "is_enabled",
+    "registry",
+    "reset",
+    "count",
+    "stage",
+    "query_scope",
+    "STAGE_HISTOGRAM",
+]
+
+#: Histogram receiving every stage timer's elapsed seconds, labelled by
+#: ``stage`` (``query``/``preprocess``/``exact``/``sampling``/``batch``).
+STAGE_HISTOGRAM = "repro_stage_seconds"
+
+_enabled = False
+_registry = StatsRegistry()
+_active = threading.local()
+
+
+def is_enabled() -> bool:
+    """Whether instrumentation hooks currently record anything."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn instrumentation on, process-wide (answers never change)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off (the default)."""
+    global _enabled
+    _enabled = False
+
+
+@contextmanager
+def enabled(active: bool = True) -> Iterator[StatsRegistry]:
+    """Temporarily force instrumentation on (or off) and restore after."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(active)
+    try:
+        yield _registry
+    finally:
+        _enabled = previous
+
+
+def registry() -> StatsRegistry:
+    """The process-global metric registry."""
+    return _registry
+
+
+def reset() -> None:
+    """Zero every metric in the global registry (a fresh measurement)."""
+    _registry.reset()
+
+
+def count(
+    name: str, amount: float = 1.0, help_text: str = "", **labels: object
+) -> None:
+    """Increment a registry counter — a no-op while disabled."""
+    if _enabled:
+        _registry.counter(name, help_text).inc(amount, **labels)
+
+
+class _NullTimer:
+    """Shared no-op context manager: the disabled path's only cost."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _StageTimer:
+    """Times one pipeline stage into the registry and the active scope."""
+
+    __slots__ = ("_name", "_start")
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_StageTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        elapsed = time.perf_counter() - self._start
+        _registry.histogram(
+            STAGE_HISTOGRAM, "Wall-clock seconds per pipeline stage."
+        ).observe(elapsed, stage=self._name)
+        scope = getattr(_active, "scope", None)
+        if scope is not None:
+            scope.add(self._name, elapsed)
+        return False
+
+
+def stage(name: str):
+    """Context manager timing one pipeline stage.
+
+    While disabled this returns one shared no-op object — no allocation,
+    no clock read.  While enabled the elapsed time lands in the
+    :data:`STAGE_HISTOGRAM` histogram (labelled ``stage=name``) and in
+    the innermost active query scope, which is how per-query
+    ``stage_seconds`` are collected.
+    """
+    if not _enabled:
+        return _NULL_TIMER
+    return _StageTimer(name)
+
+
+class QueryScope:
+    """Thread-local collector for one query's per-stage timings.
+
+    The engine opens a scope around each query; every ``stage`` timer
+    that closes while the scope is active adds its elapsed time here.
+    Scopes nest (the innermost wins), so a batch-level timer never
+    swallows the per-query breakdown.
+    """
+
+    __slots__ = ("stage_seconds", "_previous")
+
+    def __init__(self) -> None:
+        self.stage_seconds: Dict[str, float] = {}
+        self._previous: object = None
+
+    def add(self, name: str, seconds: float) -> None:
+        self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
+
+    def __enter__(self) -> "QueryScope":
+        self._previous = getattr(_active, "scope", None)
+        _active.scope = self
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        _active.scope = self._previous
+        return False
+
+
+class _NullScope:
+    """Disabled-path stand-in: enters/exits for free, collects nothing."""
+
+    __slots__ = ()
+    stage_seconds: Dict[str, float] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+def query_scope():
+    """A fresh per-query timing scope (shared no-op while disabled)."""
+    if not _enabled:
+        return _NULL_SCOPE
+    return QueryScope()

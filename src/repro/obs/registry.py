@@ -1,0 +1,339 @@
+"""Metric primitives behind :mod:`repro.obs`.
+
+A tiny, dependency-free subset of the Prometheus client data model:
+counters, gauges and histograms, each optionally labelled, collected in a
+:class:`StatsRegistry` that renders both a JSON-friendly dict and the
+Prometheus text exposition format.  The primitives are deliberately plain
+— dicts guarded by one lock per metric — because they only sit on query
+hot paths while instrumentation is *enabled*; the disabled path never
+touches them (see :mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "StatsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_PATTERN = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_PATTERN = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+#: Default histogram buckets (seconds): spans sub-millisecond kernel
+#: stages up to multi-second batch phases.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
+
+# One label set, canonicalised: sorted ((name, value), ...) string pairs.
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> _LabelKey:
+    for name in labels:
+        if not _LABEL_PATTERN.match(name):
+            raise ReproError(f"invalid metric label name {name!r}")
+    return tuple(sorted((name, str(value)) for name, value in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _render_labels(key: _LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _render_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _Metric:
+    """Shared plumbing: validated name, help text, one lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        if not _NAME_PATTERN.match(name):
+            raise ReproError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+
+    def _header(self) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class Counter(_Metric):
+    """Monotonically increasing value, optionally per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (must be non-negative) to the labelled series."""
+        if amount < 0:
+            raise ReproError(
+                f"counter {self.name} cannot decrease (amount={amount!r})"
+            )
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current value of the labelled series (0 when never touched)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            series = [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ]
+        return {"type": self.kind, "help": self.help, "series": series}
+
+    def expose(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            for key, value in sorted(self._values.items()):
+                lines.append(
+                    f"{self.name}{_render_labels(key)} {_render_value(value)}"
+                )
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (e.g. live worker count)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            series = [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ]
+        return {"type": self.kind, "help": self.help, "series": series}
+
+    def expose(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            for key, value in sorted(self._values.items()):
+                lines.append(
+                    f"{self.name}{_render_labels(key)} {_render_value(value)}"
+                )
+        return lines
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ReproError(
+                f"histogram buckets must be a non-empty ascending sequence, "
+                f"got {buckets!r}"
+            )
+        self.buckets = tuple(float(edge) for edge in buckets)
+        # Per label set: [per-bucket counts..., +Inf count], sum.
+        self._counts: Dict[_LabelKey, List[int]] = {}
+        self._sums: Dict[_LabelKey, float] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * (len(self.buckets) + 1)
+                self._counts[key] = counts
+            for position, edge in enumerate(self.buckets):
+                if value <= edge:
+                    counts[position] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+
+    def snapshot(self, **labels: object) -> dict:
+        """``{"count", "sum", "buckets"}`` for one labelled series."""
+        key = _label_key(labels)
+        with self._lock:
+            counts = list(self._counts.get(key, []))
+            total = self._sums.get(key, 0.0)
+        if not counts:
+            counts = [0] * (len(self.buckets) + 1)
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for edge, count in zip(self.buckets, counts):
+            running += count
+            cumulative[repr(edge)] = running
+        cumulative["+Inf"] = running + counts[-1]
+        return {"count": sum(counts), "sum": total, "buckets": cumulative}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+            self._sums.clear()
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            keys = sorted(self._counts)
+        series = []
+        for key in keys:
+            entry = {"labels": dict(key)}
+            entry.update(self.snapshot(**dict(key)))
+            series.append(entry)
+        return {"type": self.kind, "help": self.help, "series": series}
+
+    def expose(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(
+                (key, list(counts), self._sums.get(key, 0.0))
+                for key, counts in self._counts.items()
+            )
+        for key, counts, total in items:
+            running = 0
+            for edge, count in zip(self.buckets, counts):
+                running += count
+                rendered = _render_labels(key, (("le", _render_value(edge)),))
+                lines.append(f"{self.name}_bucket{rendered} {running}")
+            running += counts[-1]
+            rendered = _render_labels(key, (("le", "+Inf"),))
+            lines.append(f"{self.name}_bucket{rendered} {running}")
+            lines.append(
+                f"{self.name}_sum{_render_labels(key)} {_render_value(total)}"
+            )
+            lines.append(f"{self.name}_count{_render_labels(key)} {running}")
+        return lines
+
+
+class StatsRegistry:
+    """Named metrics with get-or-create access and two export views.
+
+    ``counter``/``gauge``/``histogram`` create the metric on first use and
+    return the existing instance afterwards (asking for the same name with
+    a different kind is an error — silently re-typing a metric would
+    corrupt every dashboard reading it).  ``reset`` zeroes all values but
+    keeps the metric objects, so call sites may hold direct references.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, factory) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            return metric
+
+    def _check_kind(self, metric: _Metric, expected: type) -> _Metric:
+        if not isinstance(metric, expected):
+            raise ReproError(
+                f"metric {metric.name!r} is a {metric.kind}, not a "
+                f"{expected.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        metric = self._get_or_create(name, lambda: Counter(name, help_text))
+        return self._check_kind(metric, Counter)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        metric = self._get_or_create(name, lambda: Gauge(name, help_text))
+        return self._check_kind(metric, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = self._get_or_create(
+            name, lambda: Histogram(name, help_text, buckets)
+        )
+        return self._check_kind(metric, Histogram)
+
+    def metrics(self) -> List[_Metric]:
+        """Registered metrics, sorted by name."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def reset(self) -> None:
+        """Zero every metric's values (metric objects survive)."""
+        for metric in self.metrics():
+            metric.reset()
+
+    def to_dict(self) -> Dict[str, dict]:
+        """JSON-friendly view: ``{metric name: {type, help, series}}``."""
+        return {metric.name: metric.as_dict() for metric in self.metrics()}
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for metric in self.metrics():
+            lines.extend(metric.expose())
+        return "\n".join(lines) + ("\n" if lines else "")

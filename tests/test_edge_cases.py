@@ -51,11 +51,25 @@ class TestEngineEdgeCases:
         assert report.probability == 1.0
 
     def test_external_object_identical_to_member(self):
+        # An external-object query is answered against the *whole*
+        # dataset; an equal member dominates with probability 1 (the
+        # duplicate convention), so sky = 0 — unlike the index query,
+        # which excludes the object itself from the competitors.
         dataset = Dataset([("a",), ("b",)])
         engine = SkylineProbabilityEngine(dataset, PreferenceModel.equal(1))
-        by_index = engine.skyline_probability(0, method="det").probability
-        by_value = engine.skyline_probability(("a",), method="det").probability
-        assert by_value == by_index
+        by_index = engine.skyline_probability(0, method="det")
+        by_value = engine.skyline_probability(("a",), method="det")
+        assert by_index.probability == 0.5
+        assert not by_index.duplicate_target
+        assert by_value.probability == 0.0
+        assert by_value.exact
+        assert by_value.duplicate_target
+        # the direct kernel call agrees: the duplicate short-circuits
+        direct = skyline_probability_det(
+            PreferenceModel.equal(1), [("a",), ("b",)], ("a",)
+        )
+        assert direct.probability == 0.0
+        assert direct.objects_used == 0
 
     def test_probabilistic_skyline_with_sampling_options(self, running):
         dataset, preferences = running

@@ -61,12 +61,18 @@ class TestSingleObjectQuery:
             engine.skyline_probability(0, method="oracle")
 
     def test_target_by_object_inside_dataset(self, engine, running):
+        # An object-valued target equal to a dataset member answers 0 by
+        # the duplicate convention (the member dominates with probability
+        # 1); only the *index* form excludes the object from its own
+        # competitors.
         dataset, _ = running
-        by_index = engine.skyline_probability(0, method="det").probability
-        by_object = engine.skyline_probability(
-            dataset[0], method="det"
-        ).probability
-        assert by_object == by_index
+        by_index = engine.skyline_probability(0, method="det")
+        by_object = engine.skyline_probability(dataset[0], method="det")
+        assert by_index.probability == pytest.approx(RUNNING_EXAMPLE_SKY_O)
+        assert not by_index.duplicate_target
+        assert by_object.probability == 0.0
+        assert by_object.exact
+        assert by_object.duplicate_target
 
     def test_target_by_external_object(self, engine):
         # an object outside the dataset competes against everything
@@ -139,6 +145,46 @@ class TestSingleObjectQuery:
     def test_report_probability_validated(self):
         with pytest.raises(ReproError):
             SkylineReport(probability=1.5, method="det", exact=True)
+
+
+class TestDuplicateTargetRegression:
+    """External target equal to a member answers sky = 0 on every method.
+
+    Regression for the ``_resolve_target`` bug that silently *dropped*
+    the equal member instead, answering the index query's question under
+    the external query's name.
+    """
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_engine_matches_direct_call(self, engine, running, method):
+        dataset, preferences = running
+        report = engine.skyline_probability(
+            dataset[0], method=method, samples=100, seed=11
+        )
+        assert report.probability == 0.0
+        assert report.exact  # 0 is exact even for the sampling methods
+        assert report.duplicate_target
+        assert report.samples == 0
+        # the direct kernel agrees and records that nothing was computed
+        from repro.core.exact import skyline_probability_det
+
+        direct = skyline_probability_det(
+            preferences, list(dataset), dataset[0]
+        )
+        assert direct.probability == 0.0
+        assert direct.objects_used == 0
+        assert direct.terms_evaluated == 0
+
+    def test_duplicate_and_index_queries_do_not_share_memo(self, engine, running):
+        # same target values, different questions: the memo key must
+        # distinguish the index form from the external-object form
+        dataset, _ = running
+        by_index = engine.skyline_probability(0, method="det+")
+        by_object = engine.skyline_probability(dataset[0], method="det+")
+        again_index = engine.skyline_probability(0, method="det+")
+        assert by_index.probability == pytest.approx(RUNNING_EXAMPLE_SKY_O)
+        assert by_object.probability == 0.0
+        assert again_index.probability == by_index.probability
 
 
 class TestDatasetOperators:

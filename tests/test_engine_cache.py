@@ -77,12 +77,24 @@ class TestExactCache:
         assert second is not first
         assert second.probability == first.probability
 
-    def test_object_and_index_queries_share_cache(self, engine):
+    def test_object_and_index_queries_use_separate_entries(self, engine):
+        # An index query excludes the object's own row; an object query
+        # whose values match a member answers 0 by the duplicate
+        # convention.  Same values, different questions — they must not
+        # share a memo entry.
         by_index = engine.skyline_probability(0, method="det")
         by_object = engine.skyline_probability(
             engine.dataset[0], method="det"
         )
-        assert by_object is by_index
+        assert by_object is not by_index
+        assert by_object.duplicate_target
+        assert by_object.probability == 0.0
+        # each memoises independently
+        assert engine.skyline_probability(0, method="det") is by_index
+        assert (
+            engine.skyline_probability(engine.dataset[0], method="det")
+            is by_object
+        )
 
     def test_cache_correct_after_many_updates(self, engine):
         values = []

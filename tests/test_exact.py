@@ -42,6 +42,10 @@ class TestSkylineProbabilityDet:
             PreferenceModel.equal(2), [("a", "b")], ("a", "b")
         )
         assert result.probability == 0.0
+        # provenance regression: the duplicate short-circuit runs no
+        # inclusion-exclusion, so nothing was "used" or evaluated
+        assert result.objects_used == 0
+        assert result.terms_evaluated == 0
 
     def test_certain_dominator_gives_zero(self):
         model = PreferenceModel(1)

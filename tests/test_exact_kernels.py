@@ -102,6 +102,48 @@ class TestBitForBitEquality:
             )
 
 
+class TestInstrumentationNeutrality:
+    """Enabling ``repro.obs`` must never change an answer.
+
+    The hooks only read results after the fact; no probability, RNG
+    stream or kernel evaluation order may depend on the switch.
+    """
+
+    def test_kernels_bit_identical_with_obs_enabled(self):
+        import repro.obs as obs
+
+        dataset, preferences = running_example()
+        competitors, target = list(dataset.others(0)), dataset[0]
+        plain = _both_kernels(preferences, competitors, target)
+        with obs.enabled():
+            instrumented = _both_kernels(preferences, competitors, target)
+        assert instrumented == plain
+
+    @pytest.mark.parametrize(
+        "method", ["det", "det+", "sam", "sam+", "naive", "auto"]
+    )
+    def test_engine_reports_identical_up_to_stats(self, method):
+        import dataclasses
+
+        import repro.obs as obs
+
+        dataset, preferences = running_example()
+        baseline_engine = SkylineProbabilityEngine(dataset, preferences)
+        observed_engine = SkylineProbabilityEngine(dataset, preferences)
+        options = dict(method=method, samples=500, seed=13)
+        baseline = baseline_engine.skyline_probability(0, **options)
+        with obs.enabled():
+            observed = observed_engine.skyline_probability(0, **options)
+        assert baseline.stats is None
+        assert observed.stats is not None
+        for field in dataclasses.fields(baseline):
+            if field.name == "stats":
+                continue
+            assert getattr(observed, field.name) == getattr(
+                baseline, field.name
+            ), field.name
+
+
 class TestBudgetsAndValidation:
     def test_max_terms_guard_applies_to_both(self):
         dataset, preferences = running_example()

@@ -1,0 +1,416 @@
+"""Tests for the ``repro.obs`` instrumentation subsystem.
+
+Three contracts are pinned here:
+
+* the metric primitives (counter/gauge/histogram/registry) and their two
+  export views (JSON dict, Prometheus text exposition);
+* the enable/disable switch: disabled by default, ``stats=None`` on every
+  report, nothing written to the registry;
+* provenance consistency: a :class:`~repro.obs.QueryStats` /
+  :class:`~repro.obs.BatchStats` record is an aggregated *view* of the
+  counters the sub-results already carry, so the two must always agree.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.__main__ import main
+from repro.core.batch import batch_skyline_probabilities
+from repro.core.dominance import DominanceCache
+from repro.core.engine import SkylineProbabilityEngine
+from repro.core.objects import Dataset
+from repro.core.preferences import PreferenceModel
+from repro.data.examples import running_example
+from repro.errors import ReproError
+from repro.io import save_dataset, save_preferences
+from repro.obs import BatchStats, Counter, Gauge, Histogram, StatsRegistry
+
+
+def _nothing_recorded() -> bool:
+    # Metric objects survive a reset() by design (so long-lived handles
+    # stay valid), so "the registry is untouched" means every series is
+    # empty — not that the registry dict is literally {}.
+    return all(
+        metric["series"] == [] for metric in obs.registry().to_dict().values()
+    )
+
+
+@pytest.fixture(autouse=True)
+def _pristine_switch():
+    """Every test starts and ends with instrumentation off and zeroed."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture
+def engine(running):
+    dataset, preferences = running
+    return SkylineProbabilityEngine(dataset, preferences)
+
+
+class TestRegistryPrimitives:
+    def test_counter_accumulates_per_label_set(self):
+        counter = Counter("repro_test_total", "help")
+        counter.inc()
+        counter.inc(2.0, method="det")
+        counter.inc(3.0, method="det")
+        assert counter.value() == 1.0
+        assert counter.value(method="det") == 5.0
+        assert counter.total() == 6.0
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ReproError, match="cannot decrease"):
+            Counter("repro_test_total").inc(-1.0)
+
+    def test_gauge_sets_and_moves(self):
+        gauge = Gauge("repro_test_gauge")
+        gauge.set(4.0)
+        gauge.inc(-1.5)
+        assert gauge.value() == 2.5
+
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = Histogram("repro_test_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 4
+        assert snapshot["sum"] == pytest.approx(6.05)
+        assert snapshot["buckets"]["0.1"] == 1
+        assert snapshot["buckets"]["1.0"] == 3
+        assert snapshot["buckets"]["+Inf"] == 4
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ReproError, match="ascending"):
+            Histogram("repro_test_seconds", buckets=(1.0, 0.1))
+
+    def test_invalid_metric_and_label_names_rejected(self):
+        with pytest.raises(ReproError, match="invalid metric name"):
+            Counter("bad name")
+        with pytest.raises(ReproError, match="label name"):
+            Counter("repro_test_total").inc(**{"bad-label": "x"})
+
+    def test_registry_get_or_create_returns_same_object(self):
+        registry = StatsRegistry()
+        first = registry.counter("repro_test_total", "help")
+        second = registry.counter("repro_test_total")
+        assert first is second
+
+    def test_registry_rejects_kind_conflict(self):
+        registry = StatsRegistry()
+        registry.counter("repro_test_metric")
+        with pytest.raises(ReproError, match="is a counter"):
+            registry.gauge("repro_test_metric")
+
+    def test_reset_zeroes_values_but_keeps_objects(self):
+        registry = StatsRegistry()
+        counter = registry.counter("repro_test_total")
+        counter.inc(7.0)
+        registry.reset()
+        assert counter.value() == 0.0
+        assert registry.counter("repro_test_total") is counter
+
+    def test_prometheus_exposition_format(self):
+        registry = StatsRegistry()
+        registry.counter("repro_test_total", "A test counter.").inc(
+            2.0, method="det"
+        )
+        registry.histogram(
+            "repro_test_seconds", buckets=(0.5,)
+        ).observe(0.25, stage="exact")
+        text = registry.to_prometheus()
+        assert "# HELP repro_test_total A test counter." in text
+        assert "# TYPE repro_test_total counter" in text
+        assert 'repro_test_total{method="det"} 2' in text
+        assert 'repro_test_seconds_bucket{stage="exact",le="0.5"} 1' in text
+        assert 'repro_test_seconds_bucket{stage="exact",le="+Inf"} 1' in text
+        assert 'repro_test_seconds_count{stage="exact"} 1' in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        registry = StatsRegistry()
+        registry.counter("repro_test_total").inc(reason='say "hi"\n')
+        assert r'reason="say \"hi\"\n"' in registry.to_prometheus()
+
+    def test_to_dict_round_trips_through_json(self):
+        registry = StatsRegistry()
+        registry.counter("repro_test_total").inc(method="det")
+        registry.histogram("repro_test_seconds").observe(0.1)
+        payload = json.loads(json.dumps(registry.to_dict()))
+        assert payload["repro_test_total"]["type"] == "counter"
+        assert payload["repro_test_seconds"]["series"][0]["count"] == 1
+
+
+class TestSwitch:
+    def test_disabled_by_default(self):
+        assert not obs.is_enabled()
+
+    def test_enabled_context_restores_previous_state(self):
+        with obs.enabled() as registry:
+            assert obs.is_enabled()
+            assert registry is obs.registry()
+            with obs.enabled(False):
+                assert not obs.is_enabled()
+            assert obs.is_enabled()
+        assert not obs.is_enabled()
+
+    def test_disabled_stage_is_shared_noop(self):
+        first, second = obs.stage("exact"), obs.stage("sampling")
+        assert first is second  # one shared object, no allocation
+        with first:
+            pass
+        assert _nothing_recorded()
+
+    def test_disabled_count_writes_nothing(self):
+        obs.count("repro_test_total", method="det")
+        assert _nothing_recorded()
+
+    def test_reports_carry_no_stats_while_disabled(self, engine):
+        report = engine.skyline_probability(0, method="det+")
+        assert report.stats is None
+        result = batch_skyline_probabilities(engine, method="det", workers=1)
+        assert result.stats is None
+        assert _nothing_recorded()
+
+
+class TestQueryStatsConsistency:
+    def test_stats_mirror_exact_results_and_cache(self, running):
+        dataset, preferences = running
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        cache = DominanceCache(preferences)
+        with obs.enabled():
+            report = engine.skyline_probability(0, method="det+", cache=cache)
+        stats = report.stats
+        assert stats.method == "det+" and stats.outcome == "answered"
+        assert stats.exact and not stats.degraded
+        assert stats.competitors == len(dataset) - 1
+        assert stats.terms_evaluated == sum(
+            part.terms_evaluated for part in report.partition_results
+        )
+        assert stats.objects_used == sum(
+            part.objects_used for part in report.partition_results
+        )
+        assert stats.terms_zero_pruned == sum(
+            (1 << part.objects_used) - 1 - part.terms_evaluated
+            for part in report.partition_results
+        )
+        prep = report.preprocessing
+        assert stats.absorbed == len(prep.absorbed_by)
+        assert stats.partitions == len(prep.partitions)
+        assert stats.largest_partition == prep.largest_partition
+        assert stats.exact_partitions == len(report.partition_results)
+        assert stats.sampled_partitions == 0 and stats.samples == 0
+        # the cache was fresh, so the query's deltas are its totals
+        assert stats.cache_hits == cache.hits
+        assert stats.cache_misses == cache.misses
+        assert stats.wall_seconds > 0.0
+        stages = dict(stats.stage_seconds)
+        assert set(stages) >= {"query", "preprocess", "exact"}
+        assert stages["query"] >= stages["exact"]
+
+    def test_sampling_stats_mirror_sampling_results(self, engine):
+        with obs.enabled():
+            report = engine.skyline_probability(
+                0, method="sam", samples=300, seed=5
+            )
+        stats = report.stats
+        assert stats.samples == report.samples == 300
+        assert stats.sampler_checks == report.partition_results[0].checks
+        assert stats.sampled_partitions == 1
+        assert stats.terms_evaluated == 0
+
+    def test_duplicate_target_outcome(self, running):
+        dataset, preferences = running
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        with obs.enabled() as registry:
+            report = engine.skyline_probability(dataset[0], method="det")
+            stats = report.stats
+            assert stats.outcome == "duplicate_target"
+            assert stats.duplicate_target
+            assert stats.terms_evaluated == 0 and stats.samples == 0
+            counter = registry.counter("repro_duplicate_targets_total")
+            assert counter.total() == 1.0
+            queries = registry.counter("repro_queries_total")
+            assert queries.value(method="det", outcome="duplicate_target") == 1.0
+
+    def test_degraded_outcome(self, engine):
+        with obs.enabled() as registry:
+            report = engine.skyline_probability(
+                0, method="det", deadline=1e-9, samples=120, seed=9
+            )
+            assert report.degraded
+            assert report.stats.outcome == "degraded"
+            assert report.stats.degraded
+            assert registry.counter("repro_degraded_total").total() == 1.0
+            queries = registry.counter("repro_queries_total")
+            # labelled by the method actually used (sam), like stats.method
+            assert queries.value(method="sam", outcome="degraded") == 1.0
+
+    def test_memoised_outcome_counts_without_recomputing(self, engine):
+        with obs.enabled() as registry:
+            first = engine.skyline_probability(0, method="det")
+            second = engine.skyline_probability(0, method="det")
+            assert second is first
+            queries = registry.counter("repro_queries_total")
+            assert queries.value(method="det", outcome="answered") == 1.0
+            assert queries.value(method="det", outcome="memoised") == 1.0
+
+    def test_registry_counters_match_report_provenance(self, engine):
+        with obs.enabled() as registry:
+            registry.reset()
+            report = engine.skyline_probability(0, method="det")
+            result = report.partition_results[0]
+            counters = registry.to_dict()
+            assert counters["repro_exact_runs_total"]["series"][0][
+                "value"
+            ] == 1.0
+            assert counters["repro_ie_terms_evaluated_total"]["series"][0][
+                "value"
+            ] == result.terms_evaluated
+            pruned = (1 << result.objects_used) - 1 - result.terms_evaluated
+            assert counters["repro_ie_terms_zero_pruned_total"]["series"][0][
+                "value"
+            ] == pruned
+
+
+class TestBatchStats:
+    def test_batch_stats_mirror_reports(self, running):
+        dataset, preferences = running
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        with obs.enabled() as registry:
+            result = batch_skyline_probabilities(
+                engine, method="det+", workers=1
+            )
+        stats = result.stats
+        assert isinstance(stats, BatchStats)
+        assert stats.queries == len(dataset)
+        assert stats.answered == len(result.reports)
+        assert stats.failed == 0 and stats.retries == result.retries
+        assert stats.exact_answers == len(dataset)
+        assert stats.cache_hits == result.cache_hits
+        assert stats.cache_misses == result.cache_misses
+        assert stats.terms_evaluated == sum(
+            part.terms_evaluated
+            for report in result.reports
+            for part in report.partition_results
+        )
+        assert stats.partitions == sum(
+            len(report.preprocessing.partitions) for report in result.reports
+        )
+        assert stats.wall_seconds > 0.0
+        assert dict(stats.stage_seconds).get("query", 0.0) > 0.0
+        batches = registry.counter("repro_batches_total")
+        assert batches.total() == 1.0
+        queries = registry.counter("repro_batch_queries_total")
+        assert queries.total() == len(dataset)
+
+    def test_batch_stats_survive_process_pool(self, running):
+        dataset, preferences = running
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        with obs.enabled():
+            result = batch_skyline_probabilities(
+                engine, method="det", workers=2, chunk_size=1
+            )
+        stats = result.stats
+        assert stats.queries == len(dataset)
+        assert stats.answered == len(dataset)
+        assert stats.terms_evaluated == sum(
+            part.terms_evaluated
+            for report in result.reports
+            for part in report.partition_results
+        )
+        for report in result.reports:
+            assert report.stats is not None
+
+    def test_from_reports_aggregates_special_outcomes(self):
+        dataset = Dataset([("a",), ("b",)])
+        engine = SkylineProbabilityEngine(dataset, PreferenceModel.equal(1))
+        with obs.enabled():
+            duplicate = engine.skyline_probability(("a",), method="det")
+            degraded = engine.skyline_probability(
+                0, method="det", deadline=1e-9, samples=60, seed=2
+            )
+            answered = engine.skyline_probability(1, method="det")
+        stats = BatchStats.from_reports(
+            [duplicate, degraded, answered], queries=3
+        )
+        assert stats.duplicate_targets == 1
+        assert stats.degraded == 1
+        assert stats.exact_answers == 2  # duplicate answers are exact
+        assert stats.samples == degraded.samples
+        assert dict(stats.stage_seconds)["query"] > 0.0
+
+
+class TestStatsCli:
+    @pytest.fixture
+    def inputs(self, tmp_path):
+        dataset, preferences = running_example()
+        dataset_path = tmp_path / "data.json"
+        preferences_path = tmp_path / "prefs.json"
+        save_dataset(dataset, dataset_path)
+        save_preferences(preferences, preferences_path)
+        return str(dataset_path), str(preferences_path)
+
+    def test_single_query_record(self, inputs, capsys):
+        dataset_path, preferences_path = inputs
+        code = main(
+            [
+                "stats", "--dataset", dataset_path,
+                "--preferences", preferences_path,
+                "--target", "0", "--method", "det+", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["probability"] == pytest.approx(0.1875)
+        assert payload["stats"]["method"] == "det+"
+        assert payload["stats"]["outcome"] == "answered"
+        assert payload["stats"]["terms_evaluated"] >= 1
+        assert "repro_queries_total" in payload["registry"]
+
+    def test_batch_record(self, inputs, capsys):
+        dataset_path, preferences_path = inputs
+        code = main(
+            [
+                "stats", "--dataset", dataset_path,
+                "--preferences", preferences_path,
+                "--method", "det", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["queries"] == 5
+        assert payload["stats"]["answered"] == 5
+        assert len(payload["probability"]) == 5
+
+    def test_prometheus_exposition(self, inputs, capsys):
+        dataset_path, preferences_path = inputs
+        code = main(
+            [
+                "stats", "--dataset", dataset_path,
+                "--preferences", preferences_path,
+                "--target", "0", "--prometheus",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_queries_total counter" in out
+        assert "repro_stage_seconds_bucket" in out
+
+    def test_cli_leaves_instrumentation_off(self, inputs, capsys):
+        dataset_path, preferences_path = inputs
+        main(
+            [
+                "stats", "--dataset", dataset_path,
+                "--preferences", preferences_path,
+                "--target", "0",
+            ]
+        )
+        capsys.readouterr()
+        assert not obs.is_enabled()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
 
 from repro.core.exact import skyline_probability_det
 from repro.core.preferences import PreferenceModel
@@ -14,6 +15,8 @@ from repro.core.preprocess import (
 )
 from repro.data.examples import running_example
 from repro.errors import DatasetError
+
+from strategies import uncertain_instance
 
 
 @pytest.fixture
@@ -57,6 +60,31 @@ class TestAbsorb:
         # both differ on dim 0, but with different values: no absorption
         result = absorb([("a", "o1"), ("b", "o1")], target)
         assert result.kept_indices == (0, 1)
+
+    def test_absorption_chain_resolves_to_survivor(self):
+        # Γ(Y) ⊆ Γ(X) ⊆ Γ(Z) with Y positioned after X: X's scan removes
+        # Z, then Y's scan removes X.  The raw pass would leave Z mapped
+        # to the non-survivor X; the provenance must follow the chain to
+        # Y.  (Regression: absorbed_by values pointed at removed
+        # competitors.)
+        target = ("o0", "o1", "o2")
+        x = ("v", "w", "o2")   # Γ(X) = {(0,v), (1,w)}
+        z = ("v", "w", "u")    # Γ(Z) = {(0,v), (1,w), (2,u)}
+        y = ("v", "o1", "o2")  # Γ(Y) = {(0,v)}
+        result = absorb([x, z, y], target)
+        assert result.kept_indices == (2,)
+        assert result.absorbed_by == {0: 2, 1: 2}
+
+    @given(uncertain_instance())
+    @settings(max_examples=60, deadline=None)
+    def test_absorbers_always_survive(self, instance):
+        # the provenance invariant behind the chain fix, on random spaces
+        _, competitors, target = instance
+        result = absorb(competitors, target)
+        kept = set(result.kept_indices)
+        for removed, absorber in result.absorbed_by.items():
+            assert removed not in kept
+            assert absorber in kept
 
     def test_transitive_chain_single_pass(self):
         # A (1 diff) absorbs B (2 diffs) absorbs C (3 diffs); one pass must

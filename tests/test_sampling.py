@@ -212,6 +212,23 @@ class TestSequentialEstimate:
             == 0.0
         )
 
+    def test_closed_forms_report_full_hoeffding_budget(self):
+        # regression: the closed-form exits used to report one batch of
+        # samples instead of the full Theorem 2 ceiling they stand in for
+        ceiling = hoeffding_sample_size(0.1, 0.1)
+        model = PreferenceModel(1)
+        empty = skyline_probability_sequential(
+            model, [], ("a",), epsilon=0.1, delta=0.1, seed=0
+        )
+        assert empty.samples == ceiling
+        assert empty.successes == ceiling
+        model.set_preference(0, "a", "o", 1.0)
+        certain = skyline_probability_sequential(
+            model, [("a",)], ("o",), epsilon=0.1, delta=0.1, seed=0
+        )
+        assert certain.samples == ceiling
+        assert certain.successes == 0
+
     def test_invalid_batch_size(self, running_parts):
         preferences, competitors, target = running_parts
         with pytest.raises(EstimationError):

@@ -36,6 +36,48 @@ class TestEstimateAll:
         for value, reference in zip(estimate.probabilities, naive):
             assert value == pytest.approx(reference, abs=0.01)
 
+    def test_hoisted_gathers_match_per_iteration_reference(self, running):
+        # the requirement gathers are hoisted out of the chunk loop; the
+        # estimates must be bit-identical to the straightforward
+        # per-iteration np.delete transcription on the same seed
+        import numpy as np
+
+        from repro.core.topk import _build_requirements
+        from repro.util.rng import as_rng
+
+        dataset, preferences = running
+        samples, seed, chunk_size = 512, 97, 128
+        estimate = estimate_all_skyline_probabilities(
+            preferences, dataset, samples=samples, seed=seed,
+            chunk_size=chunk_size,
+        )
+        forward_probs, backward_probs, columns = _build_requirements(
+            preferences, dataset
+        )
+        n = len(dataset)
+        rng = as_rng(seed)
+        successes = np.zeros(n, dtype=np.int64)
+        remaining = samples
+        while remaining > 0:
+            chunk = min(chunk_size, remaining)
+            remaining -= chunk
+            draws = rng.random((chunk, forward_probs.size))
+            forward_wins = draws < forward_probs
+            backward_wins = (~forward_wins) & (
+                draws < forward_probs + backward_probs
+            )
+            resolved = np.concatenate(
+                [forward_wins, backward_wins, np.ones((chunk, 1), dtype=bool)],
+                axis=1,
+            )
+            for b_index in range(n):
+                requirement = np.delete(columns[:, b_index, :], b_index, axis=0)
+                gathered = resolved[:, requirement]
+                dominated = gathered.all(axis=2).any(axis=1)
+                successes[b_index] += int((~dominated).sum())
+        expected = tuple((successes / samples).tolist())
+        assert estimate.probabilities == expected
+
     def test_deterministic_with_seed(self, running):
         dataset, preferences = running
         a = estimate_all_skyline_probabilities(
