@@ -1,0 +1,74 @@
+"""Benchmark: incremental view maintenance vs full rebuild per edit.
+
+:class:`repro.DynamicSkylineEngine` keeps the all-objects Det-exact view
+warm across edits by recomputing only the Theorem-4 components whose
+``(dimension, value)`` keys an edit touches and surgically evicting the
+matching :class:`DominanceCache` entries.  The rebuild baseline below
+constructs a fresh dynamic engine from the post-edit state — exactly
+what a static deployment would have to do — so the measured ratio is the
+honest cost of *not* maintaining the view.  ``results/
+dynamic_updates.{json,md}`` records the ratio on the acceptance workload
+(``python -m repro.bench run dynamic_updates``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic import DynamicSkylineEngine
+from repro.core.objects import Dataset
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.procedural import HashedPreferenceModel
+
+
+def make_engine(n=60, d=4, *, seed=5, preference_seed=6):
+    """A warm dynamic engine over the Fig. 9/13 block-zipf shape."""
+    dataset = block_zipf_dataset(n, d, seed=seed)
+    preferences = HashedPreferenceModel(d, seed=preference_seed)
+    return DynamicSkylineEngine(dataset, preferences)
+
+
+def _preference_edit(engine, flip):
+    a = engine.dataset[0][0]
+    b = engine.dataset[engine.cardinality // 2][0]
+    return engine.update_preference(0, a, b, 0.9 if flip else 0.1, 0.05)
+
+
+def test_incremental_preference_edit(benchmark):
+    engine = make_engine()
+    state = {"flip": False}
+
+    def edit():
+        state["flip"] = not state["flip"]
+        return _preference_edit(engine, state["flip"])
+
+    report = benchmark.pedantic(edit, rounds=5, iterations=1)
+    assert report.targets_refreshed + report.targets_skipped == engine.cardinality
+    # the point of the engine: most components survive the edit untouched
+    assert report.partitions_recomputed < engine.total_partitions
+
+
+def test_incremental_insert_remove_cycle(benchmark):
+    engine = make_engine()
+    probe = ("probe_value_d0",) + engine.dataset[0][1:]
+
+    def cycle():
+        engine.insert_object(probe)
+        return engine.remove_object(probe)
+
+    report = benchmark.pedantic(cycle, rounds=5, iterations=1)
+    assert report.operation == "remove"
+
+
+def test_rebuild_baseline(benchmark):
+    engine = make_engine()
+    _preference_edit(engine, True)
+
+    def rebuild():
+        return DynamicSkylineEngine(
+            Dataset(list(engine.dataset)), engine.preferences.copy()
+        )
+
+    rebuilt = benchmark.pedantic(rebuild, rounds=3, iterations=1)
+    # the maintained view must be what the rebuild computes, bit for bit
+    assert rebuilt.skyline_probabilities() == engine.skyline_probabilities()

@@ -32,6 +32,8 @@ from repro.core import (
     BatchResult,
     Dataset,
     DominanceCache,
+    DynamicSkylineEngine,
+    EditReport,
     ExactResult,
     PreferenceModel,
     PreferencePair,
@@ -82,6 +84,8 @@ __all__ = [
     "SkylineReport",
     "METHODS",
     "DominanceCache",
+    "DynamicSkylineEngine",
+    "EditReport",
     "BatchFailure",
     "BatchResult",
     "batch_skyline_probabilities",

@@ -9,6 +9,8 @@ Usage::
     python -m repro topk    --dataset d.json --preferences p.json -k 5 --pruned
     python -m repro info    --dataset d.json --preferences p.json
     python -m repro stats   --dataset d.json --preferences p.json --prometheus
+    python -m repro dynamic --dataset d.json --preferences p.json \
+                            --edits edits.json --verify
 
 Datasets and preference models load from the JSON formats written by
 :mod:`repro.io` (``.csv`` inputs are also accepted: objects one-per-row,
@@ -231,6 +233,112 @@ def _cmd_stats(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_edit(position: int, op: dict) -> tuple:
+    """Validate one edit-script entry into ``(kind, args)``."""
+    if not isinstance(op, dict) or "op" not in op:
+        raise ReproError(
+            f"edit {position}: expected an object with an 'op' field, got {op!r}"
+        )
+    kind = op["op"]
+    try:
+        if kind == "insert":
+            return "insert", (op["values"],)
+        if kind == "remove":
+            return "remove", (op["target"] if "target" in op else op["values"],)
+        if kind in ("update_preference", "set_preference"):
+            return "update_preference", (
+                op["dimension"],
+                op["a"],
+                op["b"],
+                op["forward"],
+                op.get("backward"),
+            )
+    except KeyError as missing:
+        raise ReproError(
+            f"edit {position}: op {kind!r} is missing field {missing}"
+        ) from None
+    raise ReproError(
+        f"edit {position}: unknown op {kind!r}; expected insert, remove "
+        f"or update_preference"
+    )
+
+
+def _cmd_dynamic(arguments: argparse.Namespace) -> int:
+    from repro.core.dynamic import DynamicSkylineEngine
+
+    dataset, preferences = _load_inputs(arguments)
+    try:
+        script = json.loads(Path(arguments.edits).read_text())
+    except ValueError as error:
+        raise ReproError(f"malformed edit script: {error}") from error
+    if not isinstance(script, list):
+        raise ReproError("edit script must be a JSON list of edit objects")
+    engine = DynamicSkylineEngine(dataset, preferences)
+    applied = []
+    for position, op in enumerate(script):
+        kind, args = _parse_edit(position, op)
+        if kind == "insert":
+            report = engine.insert_object(args[0])
+        elif kind == "remove":
+            report = engine.remove_object(args[0])
+        else:
+            report = engine.update_preference(*args)
+        applied.append(
+            {
+                "op": report.operation,
+                "targets_refreshed": report.targets_refreshed,
+                "targets_skipped": report.targets_skipped,
+                "partitions_recomputed": report.partitions_recomputed,
+                "partitions_reused": report.partitions_reused,
+                "cache_evictions": report.cache_evictions,
+            }
+        )
+    probabilities = engine.skyline_probabilities()
+    payload = {
+        "edits": applied,
+        "objects": engine.cardinality,
+        "total_partitions": engine.total_partitions,
+        "probabilities": [
+            {
+                "index": index,
+                "label": engine.dataset.label_of(index),
+                "probability": probability,
+            }
+            for index, probability in enumerate(probabilities)
+        ],
+    }
+    exit_code = 0
+    if arguments.verify:
+        rebuilt = DynamicSkylineEngine(engine.dataset, engine.preferences.copy())
+        identical = rebuilt.skyline_probabilities() == probabilities
+        payload["verified_identical"] = identical
+        if not identical:
+            exit_code = 3
+    lines = [
+        f"applied {len(applied)} edits over {engine.cardinality} objects "
+        f"({engine.total_partitions} cached partitions)"
+    ]
+    lines += [
+        f"  {entry['op']:18s} refreshed={entry['targets_refreshed']} "
+        f"recomputed={entry['partitions_recomputed']} "
+        f"reused={entry['partitions_reused']} "
+        f"evicted={entry['cache_evictions']}"
+        for entry in applied
+    ]
+    lines += [
+        f"  {engine.dataset.label_of(index):20s} sky = {probability:.6f}"
+        for index, probability in enumerate(probabilities)
+    ]
+    if arguments.verify:
+        lines.append(
+            "verified: incremental view bit-identical to full rebuild"
+            if payload["verified_identical"]
+            else "VERIFICATION FAILED: view differs from full rebuild"
+        )
+    _emit(payload, arguments.json, lines)
+    return exit_code
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -294,6 +402,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the Prometheus text exposition instead of the record",
     )
     stats.set_defaults(handler=_cmd_stats)
+
+    dynamic = commands.add_parser(
+        "dynamic",
+        help="apply an edit script through the incremental engine and "
+        "report per-edit invalidation statistics",
+    )
+    add_common(dynamic)
+    dynamic.add_argument(
+        "--edits", required=True,
+        help="JSON list of edits: {'op': 'insert', 'values': [...]}, "
+        "{'op': 'remove', 'target': i}, or {'op': 'update_preference', "
+        "'dimension': d, 'a': ..., 'b': ..., 'forward': p, 'backward': q}",
+    )
+    dynamic.add_argument(
+        "--verify", action="store_true",
+        help="rebuild from scratch after the script and require the "
+        "incremental view to match bit-for-bit (exit 3 on mismatch)",
+    )
+    dynamic.set_defaults(handler=_cmd_dynamic)
     return parser
 
 

@@ -27,6 +27,12 @@ from repro.core.engine import (
     SkylineProbabilityEngine,
     SkylineReport,
 )
+from repro.core.dynamic import (
+    DynamicSkylineEngine,
+    EditReport,
+    PartitionFactor,
+    TargetView,
+)
 from repro.core.batch import (
     EXECUTORS,
     ON_ERROR_POLICIES,
@@ -126,6 +132,10 @@ __all__ = [
     "SkylineReport",
     "METHODS",
     "DEADLINE_POLICIES",
+    "DynamicSkylineEngine",
+    "EditReport",
+    "PartitionFactor",
+    "TargetView",
     "DominanceCache",
     "BatchFailure",
     "BatchResult",

@@ -429,6 +429,12 @@ def batch_skyline_probabilities(
         every per-object query — the deterministic chaos hook.  ``None``
         (default) costs nothing.
     """
+    # A DynamicSkylineEngine (repro.core.dynamic) exposes its static
+    # engine as `.engine`; unwrap it so the dynamic facade can be handed
+    # to the planner directly (duck-typed to avoid a circular import).
+    inner = getattr(engine, "engine", None)
+    if isinstance(inner, SkylineProbabilityEngine):
+        engine = inner
     if method not in METHODS:
         raise ReproError(f"unknown method {method!r}; expected one of {METHODS}")
     validate_accuracy(epsilon, delta, samples)

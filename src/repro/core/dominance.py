@@ -146,7 +146,15 @@ class DominanceCache:
     only approximate under concurrent threads.
     """
 
-    __slots__ = ("_preferences", "_version", "_prefers", "_factors", "_hits", "_misses")
+    __slots__ = (
+        "_preferences",
+        "_version",
+        "_prefers",
+        "_factors",
+        "_hits",
+        "_misses",
+        "_evictions",
+    )
 
     def __init__(self, preferences: PreferenceModel) -> None:
         self._preferences = preferences
@@ -157,6 +165,7 @@ class DominanceCache:
         ] = {}
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     @property
     def preferences(self) -> PreferenceModel:
@@ -178,8 +187,13 @@ class DominanceCache:
         """Currently memoised entries across both tables."""
         return len(self._prefers) + len(self._factors)
 
+    @property
+    def evictions(self) -> int:
+        """Entries surgically removed by :meth:`evict_preference`."""
+        return self._evictions
+
     def counters(self) -> Dict[str, int]:
-        """Bookkeeping snapshot: ``{"hits", "misses", "entries"}``.
+        """Bookkeeping snapshot: ``{"hits", "misses", "entries", "evictions"}``.
 
         These are the numbers :class:`repro.obs.QueryStats` cache deltas
         are measured against; the stats CLI and the observability tests
@@ -189,12 +203,52 @@ class DominanceCache:
             "hits": self._hits,
             "misses": self._misses,
             "entries": self.entries,
+            "evictions": self._evictions,
         }
 
     def clear(self) -> None:
         """Drop every memoised entry (counters are kept)."""
         self._prefers.clear()
         self._factors.clear()
+
+    def evict_preference(self, dimension: int, a: Value, b: Value) -> int:
+        """Surgically drop every entry that read the ``{a, b}`` pair.
+
+        The alternative to a full :meth:`clear` after an in-place edit of
+        one preference pair: only the ``_prefers`` entries for the pair
+        itself and the ``_factors`` entries whose target/competitor values
+        on ``dimension`` are exactly ``{a, b}`` can be stale — every other
+        entry is a pure function of *unchanged* pairs and stays warm.
+
+        The cache is then re-validated against the model's current
+        :attr:`~PreferenceModel.version`, so the automatic whole-cache
+        invalidation does not fire on the next lookup.  **Contract**: the
+        only model mutation since the cache was last consistent must be
+        the edit of this one pair (that is what
+        :class:`repro.core.dynamic.DynamicSkylineEngine` guarantees by
+        evicting immediately after every single edit); interleaving other
+        edits without their own evictions would retain stale entries.
+
+        Returns the number of entries removed; ``hits``/``misses`` are
+        kept (they count lifetime lookups) and :attr:`evictions` grows by
+        the same number.
+        """
+        removed = 0
+        for key in ((dimension, a, b), (dimension, b, a)):
+            if self._prefers.pop(key, None) is not None:
+                removed += 1
+        stale = [
+            pair_key
+            for pair_key in self._factors
+            if dimension < len(pair_key[0])
+            and {pair_key[0][dimension], pair_key[1][dimension]} == {a, b}
+        ]
+        for pair_key in stale:
+            del self._factors[pair_key]
+        removed += len(stale)
+        self._version = self._preferences.version
+        self._evictions += removed
+        return removed
 
     def _validate(self) -> None:
         version = self._preferences.version

@@ -139,6 +139,8 @@ class SkylineProbabilityEngine:
         # preference model's mutation counter so in-place preference
         # updates (what-if analyses) invalidate automatically.
         self._exact_cache: dict = {}
+        self._memo_hits = 0
+        self._memo_misses = 0
 
     @property
     def dataset(self) -> Dataset:
@@ -233,6 +235,7 @@ class SkylineProbabilityEngine:
         )
         cached = self._exact_cache.get(cache_key)
         if cached is not None:
+            self._memo_hits += 1
             obs.count(
                 "repro_queries_total",
                 help_text="Engine queries answered, by method and outcome.",
@@ -240,6 +243,7 @@ class SkylineProbabilityEngine:
                 outcome="memoised",
             )
             return cached
+        self._memo_misses += 1
         deadline_at = (
             None if deadline is None else time.monotonic() + deadline
         )
@@ -347,9 +351,33 @@ class SkylineProbabilityEngine:
             ),
         )
 
+    def cache_info(self) -> dict:
+        """Memo-table snapshot: ``{"entries", "hits", "misses"}``.
+
+        ``hits`` counts queries answered straight from the memoised
+        report; ``misses`` counts lookups that fell through (whether or
+        not the answer was cacheable — sampled answers never are).  The
+        counters describe the *current* cache generation:
+        :meth:`clear_cache` resets them along with the entries.
+        """
+        return {
+            "entries": len(self._exact_cache),
+            "hits": self._memo_hits,
+            "misses": self._memo_misses,
+        }
+
     def clear_cache(self) -> None:
-        """Drop memoised exact answers (freed memory, same results)."""
+        """Drop memoised exact answers and reset the hit/miss counters.
+
+        Clearing starts a fresh cache generation, so the ``hits``/
+        ``misses`` counters reported by :meth:`cache_info` restart from
+        zero — keeping them running across a clear would make post-clear
+        hit rates unmeasurable.  Answers are unaffected (same results,
+        recomputed).
+        """
         self._exact_cache.clear()
+        self._memo_hits = 0
+        self._memo_misses = 0
 
     def _answer(
         self,

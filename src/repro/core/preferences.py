@@ -208,6 +208,27 @@ class PreferenceModel:
         )
         self._version += 1
 
+    def delete_preference(self, dimension: int, a: Value, b: Value) -> bool:
+        """Remove the explicitly-set pair between ``a`` and ``b``, if any.
+
+        The pair reverts to the ``default`` policy (or to raising
+        :class:`UnknownPreferenceError` when there is none).  Returns
+        whether a pair was actually removed; removal bumps
+        :attr:`version`.  This is the exact inverse of
+        :meth:`set_preference` on a previously-unset pair, which is what
+        :class:`repro.core.dynamic.DynamicSkylineEngine` needs to roll an
+        aborted edit back without leaving a phantom explicit pair behind.
+        """
+        self._check_dimension(dimension)
+        key = frozenset((a, b))
+        if key not in self._pairs[dimension]:
+            return False
+        del self._pairs[dimension][key]
+        self._forward[dimension].pop((a, b), None)
+        self._forward[dimension].pop((b, a), None)
+        self._version += 1
+        return True
+
     def update(
         self, dimension: int, preferences: Dict[Tuple[Value, Value], float]
     ) -> None:

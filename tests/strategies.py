@@ -6,7 +6,12 @@ from hypothesis import strategies as st
 
 from repro.core.preferences import PreferenceModel
 
-__all__ = ["uncertain_instance", "disjoint_instance"]
+__all__ = [
+    "uncertain_instance",
+    "disjoint_instance",
+    "edit_script",
+    "apply_edit",
+]
 
 
 @st.composite
@@ -40,6 +45,98 @@ def uncertain_instance(draw):
                     j, values[j][x], values[j][y], forward, backward
                 )
     return preferences, competitors, target
+
+
+@st.composite
+def edit_script(draw, max_edits=6):
+    """A dynamic-update workload: a valid starting instance plus a list of
+    edits, each valid against the state produced by its predecessors.
+
+    Returns ``(preferences, objects, edits)`` where every edit is one of
+    ``("insert", values)``, ``("remove", index)``, or
+    ``("update_preference", dimension, a, b, forward, backward)``.  The
+    script is simulated while drawing so inserts never duplicate, removes
+    never empty the dataset, and preference pairs always stay coherent
+    (``forward + backward <= 1``).  Shared by the differential, statistics
+    and chaos suites so they shrink over the same space.
+    """
+    d = draw(st.integers(min_value=1, max_value=2))
+    universe = [[f"v{j}_{k}" for k in range(3)] for j in range(d)]
+    grid = [0.0, 0.25, 0.5, 0.75, 1.0]
+    preferences = PreferenceModel(d, default=0.5)
+    for j in range(d):
+        for x in range(3):
+            for y in range(x + 1, 3):
+                forward = draw(st.sampled_from(grid))
+                backward = draw(
+                    st.sampled_from([p for p in grid if p + forward <= 1.0])
+                )
+                preferences.set_preference(
+                    j, universe[j][x], universe[j][y], forward, backward
+                )
+
+    def fresh_object():
+        return tuple(
+            universe[j][draw(st.integers(min_value=0, max_value=2))]
+            for j in range(d)
+        )
+
+    n = draw(st.integers(min_value=1, max_value=4))
+    objects = []
+    for _ in range(n):
+        candidate = fresh_object()
+        if candidate not in objects:
+            objects.append(candidate)
+
+    simulated = list(objects)
+    edits = []
+    for _ in range(draw(st.integers(min_value=1, max_value=max_edits))):
+        choices = ["insert", "update_preference"]
+        if len(simulated) > 1:
+            choices.append("remove")
+        kind = draw(st.sampled_from(choices))
+        if kind == "insert":
+            candidate = fresh_object()
+            if candidate in simulated:
+                continue  # duplicate draw; skip rather than reject the run
+            simulated.append(candidate)
+            edits.append(("insert", candidate))
+        elif kind == "remove":
+            index = draw(st.integers(min_value=0, max_value=len(simulated) - 1))
+            del simulated[index]
+            edits.append(("remove", index))
+        else:
+            j = draw(st.integers(min_value=0, max_value=d - 1))
+            x = draw(st.integers(min_value=0, max_value=2))
+            y = draw(st.sampled_from([k for k in range(3) if k != x]))
+            forward = draw(st.sampled_from(grid))
+            backward = draw(
+                st.sampled_from([p for p in grid if p + forward <= 1.0])
+            )
+            edits.append(
+                (
+                    "update_preference",
+                    j,
+                    universe[j][x],
+                    universe[j][y],
+                    forward,
+                    backward,
+                )
+            )
+    return preferences, objects, edits
+
+
+def apply_edit(engine, edit):
+    """Replay one :func:`edit_script` entry against a dynamic engine and
+    return its :class:`repro.EditReport`."""
+    kind = edit[0]
+    if kind == "insert":
+        return engine.insert_object(edit[1])
+    if kind == "remove":
+        return engine.remove_object(edit[1])
+    if kind == "update_preference":
+        return engine.update_preference(*edit[1:])
+    raise ValueError(f"unknown edit kind {kind!r}")
 
 
 @st.composite

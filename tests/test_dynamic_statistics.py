@@ -1,0 +1,156 @@
+"""Statistical guarantees of sampling against a dynamically edited state.
+
+Two families of checks:
+
+* the Hoeffding (ε, δ) bound still holds when ``Sam`` runs against the
+  state produced by the incremental engine's edits, with the warm
+  Det-exact view as the oracle (seeded, so deterministic);
+* the sampler fast paths (``closed-form`` and ``sequential``) are
+  *invariant* under incremental maintenance — the surgically evicted
+  dominance cache must steer a seeded run onto exactly the path, and
+  exactly the bits, of a run against a freshly rebuilt state.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import Dataset, DynamicSkylineEngine, PreferenceModel
+from repro.core.bounds import hoeffding_sample_size
+from repro.core.sampling import (
+    skyline_probability_sampled,
+    skyline_probability_sequential,
+)
+from repro.util.rng import spawn_rngs
+
+
+def _edited_engine() -> DynamicSkylineEngine:
+    """A small instance pushed through one edit of every kind."""
+    objects = [("a", "x"), ("b", "y"), ("a", "y"), ("c", "x")]
+    preferences = PreferenceModel(2, default=0.5)
+    preferences.set_preference(0, "a", "b", 0.6, 0.4)
+    preferences.set_preference(0, "a", "c", 0.3, 0.5)
+    preferences.set_preference(1, "x", "y", 0.7, 0.3)
+    engine = DynamicSkylineEngine(Dataset(objects), preferences)
+    engine.update_preference(0, "a", "b", 0.9, 0.1)
+    engine.insert_object(("b", "x"))
+    engine.remove_object(2)
+    return engine
+
+
+def _rebuild(engine: DynamicSkylineEngine) -> DynamicSkylineEngine:
+    return DynamicSkylineEngine(
+        Dataset(list(engine.dataset)), engine.preferences.copy()
+    )
+
+
+class TestHoeffdingAfterEdits:
+    def test_empirical_failure_rate_below_delta(self):
+        engine = _edited_engine()
+        epsilon, delta = 0.05, 0.1
+        samples = hoeffding_sample_size(epsilon, delta)
+        runs = 40
+        for index in range(engine.cardinality):
+            oracle = engine.view(index).probability
+            failures = sum(
+                abs(
+                    engine.skyline_probability(
+                        index, method="sam", samples=samples, seed=rng
+                    ).probability
+                    - oracle
+                )
+                > epsilon
+                for rng in spawn_rngs(4321 + index, runs)
+            )
+            assert failures <= math.ceil(delta * runs)
+
+    def test_sam_estimate_near_warm_view(self):
+        engine = _edited_engine()
+        for index, oracle in enumerate(engine.skyline_probabilities()):
+            estimates = [
+                engine.skyline_probability(
+                    index, method="sam+", samples=400, seed=rng
+                ).probability
+                for rng in spawn_rngs(99 + index, 40)
+            ]
+            mean = sum(estimates) / len(estimates)
+            assert mean == pytest.approx(oracle, abs=0.02)
+
+
+class TestFastPathInvariance:
+    def test_closed_form_paths_after_preference_edit(self):
+        # One certain preference makes object "b" certainly dominated
+        # (closed-form 0) and leaves "a" with no effective competitor
+        # pair (closed-form 1).  Reach that state *dynamically*.
+        preferences = PreferenceModel(1, default=0.5)
+        preferences.set_preference(0, "a", "b", 0.5, 0.5)
+        engine = DynamicSkylineEngine(Dataset([("a",), ("b",)]), preferences)
+        engine.update_preference(0, "a", "b", 1.0, 0.0)
+        rebuilt = _rebuild(engine)
+        for dynamic_state, label in ((engine, "dynamic"), (rebuilt, "rebuilt")):
+            dataset = dynamic_state.dataset
+            dominated = skyline_probability_sampled(
+                dynamic_state.preferences,
+                [dataset[0]],
+                dataset[1],
+                samples=100,
+                seed=0,
+                cache=dynamic_state.cache,
+            )
+            assert dominated.method == "closed-form", label
+            assert dominated.estimate == 0.0, label
+            winner = skyline_probability_sampled(
+                dynamic_state.preferences,
+                [dataset[1]],
+                dataset[0],
+                samples=100,
+                seed=0,
+                cache=dynamic_state.cache,
+            )
+            assert winner.method == "closed-form", label
+            assert winner.estimate == 1.0, label
+
+    def test_sequential_path_bit_identical_to_rebuild(self):
+        engine = _edited_engine()
+        rebuilt = _rebuild(engine)
+        for index in range(engine.cardinality):
+            target = engine.dataset[index]
+            competitors = list(engine.dataset.others(index))
+            warm = skyline_probability_sequential(
+                engine.preferences,
+                competitors,
+                target,
+                epsilon=0.1,
+                delta=0.1,
+                seed=7,
+                cache=engine.cache,
+            )
+            cold = skyline_probability_sequential(
+                rebuilt.preferences,
+                competitors,
+                target,
+                epsilon=0.1,
+                delta=0.1,
+                seed=7,
+                cache=rebuilt.cache,
+            )
+            assert warm.method == cold.method
+            assert warm.method in ("sequential", "closed-form")
+            assert warm.estimate == cold.estimate
+            assert warm.samples == cold.samples
+
+    def test_seeded_sam_bit_identical_to_rebuild(self):
+        engine = _edited_engine()
+        rebuilt = _rebuild(engine)
+        for index in range(engine.cardinality):
+            for method in ("sam", "sam+"):
+                warm = engine.skyline_probability(
+                    index, method=method, samples=300, seed=42
+                )
+                cold = rebuilt.skyline_probability(
+                    index, method=method, samples=300, seed=42
+                )
+                assert warm.probability == cold.probability
+                assert warm.samples == cold.samples

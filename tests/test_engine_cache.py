@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.dominance import DominanceCache, dominance_factors
 from repro.core.engine import SkylineProbabilityEngine
 from repro.core.objects import Dataset
 from repro.core.preferences import PreferenceModel
@@ -96,6 +97,35 @@ class TestExactCache:
             is by_object
         )
 
+    def test_cache_info_counts_hits_and_misses(self, engine):
+        assert engine.cache_info() == {"entries": 0, "hits": 0, "misses": 0}
+        engine.skyline_probability(0, method="det")
+        assert engine.cache_info() == {"entries": 1, "hits": 0, "misses": 1}
+        engine.skyline_probability(0, method="det")
+        assert engine.cache_info() == {"entries": 1, "hits": 1, "misses": 1}
+        engine.skyline_probability(1, method="det+")
+        info = engine.cache_info()
+        assert info["entries"] == 2 and info["misses"] == 2
+
+    def test_sampled_queries_count_misses_but_never_store(self, engine):
+        engine.skyline_probability(0, method="sam", samples=50, seed=1)
+        engine.skyline_probability(0, method="sam", samples=50, seed=1)
+        info = engine.cache_info()
+        assert info["entries"] == 0
+        assert info["hits"] == 0
+        assert info["misses"] == 2
+
+    def test_clear_cache_resets_counters(self, engine):
+        # Regression: clear_cache() used to drop the entries but keep the
+        # hit/miss counters, so a cleared engine reported a stale ratio.
+        engine.skyline_probability(0, method="det")
+        engine.skyline_probability(0, method="det")
+        assert engine.cache_info()["hits"] == 1
+        engine.clear_cache()
+        assert engine.cache_info() == {"entries": 0, "hits": 0, "misses": 0}
+        engine.skyline_probability(0, method="det")
+        assert engine.cache_info() == {"entries": 1, "hits": 0, "misses": 1}
+
     def test_cache_correct_after_many_updates(self, engine):
         values = []
         for probability in (0.2, 0.5, 0.8):
@@ -105,3 +135,69 @@ class TestExactCache:
             )
         # sky(Q2=(b,y)) depends on Pr(a<b) through both competitors
         assert len(set(values)) == 3
+
+
+class TestSurgicalEviction:
+    """The dominance cache's partition-scoped alternative to clear()."""
+
+    @pytest.fixture
+    def warm(self):
+        preferences = PreferenceModel(2)
+        preferences.set_preference(0, "a", "b", 0.6)
+        preferences.set_preference(1, "x", "y", 0.7)
+        cache = DominanceCache(preferences)
+        cache.dominance_factors(("a", "x"), ("b", "y"))
+        cache.dominance_factors(("a", "x"), ("a", "y"))
+        cache.prob_prefers(0, "a", "b")
+        cache.prob_prefers(1, "x", "y")
+        return preferences, cache
+
+    def test_evicts_only_matching_entries(self, warm):
+        preferences, cache = warm
+        entries_before = cache.entries
+        preferences.set_preference(0, "a", "b", 0.9)
+        removed = cache.evict_preference(0, "a", "b")
+        # The (0, a, b) prefers entry, the ("a","x")/("b","y") factor
+        # tuple, and the nested (0, "a", "b") lookup it stored.
+        assert removed > 0
+        assert cache.entries == entries_before - removed
+        # The untouched dimension-1 pair must still be served warm.
+        hits_before = cache.hits
+        assert cache.prob_prefers(1, "x", "y") == 0.7
+        assert cache.hits == hits_before + 1
+
+    def test_post_eviction_lookups_recompute_fresh_values(self, warm):
+        preferences, cache = warm
+        preferences.set_preference(0, "a", "b", 0.9)
+        cache.evict_preference(0, "a", "b")
+        assert cache.prob_prefers(0, "a", "b") == 0.9
+        cached = cache.dominance_factors(("a", "x"), ("b", "y"))
+        fresh = dominance_factors(preferences, ("a", "x"), ("b", "y"))
+        assert cached == tuple(fresh)
+
+    def test_counters_survive_eviction(self, warm):
+        preferences, cache = warm
+        hits, misses = cache.hits, cache.misses
+        preferences.set_preference(0, "a", "b", 0.9)
+        removed = cache.evict_preference(0, "a", "b")
+        assert cache.hits == hits and cache.misses == misses
+        assert cache.evictions == removed
+        assert cache.counters()["evictions"] == removed
+
+    def test_eviction_prevents_whole_cache_wipe(self, warm):
+        preferences, cache = warm
+        preferences.set_preference(0, "a", "b", 0.9)
+        cache.evict_preference(0, "a", "b")
+        # _validate() must NOT fire on the next lookup: the unrelated
+        # factor entry is still present (a version-triggered wipe would
+        # have emptied both tables).
+        hits_before = cache.hits
+        cache.dominance_factors(("a", "x"), ("a", "y"))
+        assert cache.hits == hits_before + 1
+
+    def test_clear_keeps_counters(self, warm):
+        _, cache = warm
+        hits, misses = cache.hits, cache.misses
+        cache.clear()
+        assert cache.entries == 0
+        assert cache.hits == hits and cache.misses == misses

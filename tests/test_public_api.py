@@ -53,6 +53,7 @@ def test_docstring_quickstart_in_package():
         "repro.core.sampling",
         "repro.core.preprocess",
         "repro.core.engine",
+        "repro.core.dynamic",
         "repro.core.baselines",
         "repro.core.bounds",
         "repro.core.skyline",
