@@ -12,10 +12,13 @@ restricted-skyline probabilities across objects:
   per batch instead of once per (query, competitor) pair — and the cache
   is keyed on :attr:`PreferenceModel.version`, so in-place what-if edits
   can never serve stale answers;
-* ``workers`` fans object chunks out over :mod:`concurrent.futures` — a
-  process pool when the host offers real parallelism, a thread pool when
-  it does not (single-core affinity) or when the preference model cannot
-  be pickled (procedural models built from closures);
+* ``workers`` fans object chunks out over a :mod:`concurrent.futures`
+  process pool when the host offers real parallelism; when it does not
+  (single-core affinity) or when the preference model cannot be pickled
+  (procedural models built from closures), the chunks run sequentially
+  in-process — the work is GIL-bound pure Python, so a thread pool only
+  adds contention (a forced ``executor="thread"`` still fans out, for
+  the chaos suites);
 * sampling methods draw one child stream per *object*, spawned from the
   batch ``seed`` via :class:`numpy.random.SeedSequence` (through
   :func:`repro.util.rng.spawn_rngs`).  Object streams are therefore
@@ -31,7 +34,7 @@ objects):
   ``BrokenProcessPool``, a pickling error, an injected chaos fault — is
   re-dispatched with capped exponential backoff (``max_retries``,
   ``backoff``), falling back from the process pool to the in-process
-  thread path, which cannot lose workers;
+  path, which cannot lose workers;
 * errors that persist per object are **salvaged**: the object's entry
   moves to :attr:`BatchResult.failures` as a structured
   :class:`BatchFailure` (index, exception type, message, attempts) while
@@ -380,10 +383,14 @@ def batch_skyline_probabilities(
     workers:
         Fan-out width: ``1`` (default) answers in-process, ``None`` uses
         every core.  Object chunks go to a ``concurrent.futures`` process
-        pool; a thread pool (sharing the one dominance cache) is used
-        instead when only one core is available or when the preference
-        model cannot be pickled (procedural models closing over local
-        state).  The answers are identical for every choice.
+        pool; when only one core is available or the preference model
+        cannot be pickled (procedural models closing over local state),
+        the chunks instead run sequentially in-process sharing the one
+        dominance cache — the queries are GIL-bound pure Python, so a
+        thread pool would only add contention (measured ~10% slower; see
+        ``results/parallel_batch.md``).  A thread pool is still used
+        when ``executor="thread"`` is forced.  The answers are identical
+        for every choice.
     cache:
         A :class:`DominanceCache` to (re)use; by default a fresh one is
         created for the batch.  Must have been built from ``engine``'s
@@ -590,8 +597,9 @@ def batch_skyline_probabilities(
                         child_hits += chunk_hits
                         child_misses += chunk_misses
         else:
-            # Threads share the engine and the cache directly.  Same
-            # answers, shared memoisation — and no pool to lose.
+            # The in-process path shares the engine and the cache
+            # directly.  Same answers, shared memoisation — and no pool
+            # to lose.
             recovery = [(chunk, 0, None) for chunk in chunks]
         if recovery:
 
@@ -605,7 +613,14 @@ def batch_skyline_probabilities(
                     last_error=last_error, **recovery_policy,
                 )
 
-            if workers > 1 and len(recovery) > 1:
+            # Fan out to a thread pool only when the caller forced the
+            # threaded executor (the chaos suites exercise it for real
+            # concurrency).  On the auto fallback — single-core host,
+            # unpicklable model, or process-chunk recovery — the queries
+            # are GIL-bound pure Python, so extra threads buy no
+            # parallelism and cost context switches: workers=4 measured
+            # ~10% *slower* than workers=1 before this guard.
+            if executor == "thread" and workers > 1 and len(recovery) > 1:
                 with ThreadPoolExecutor(max_workers=workers) as pool:
                     for outcomes in pool.map(recover, recovery):
                         absorb(outcomes)

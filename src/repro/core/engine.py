@@ -183,9 +183,12 @@ class SkylineProbabilityEngine:
         ``epsilon``/``delta``/``samples``/``seed`` only matter for the
         sampling methods; the ``use_*`` switches only for the ``+``/
         ``auto`` methods (ablation hooks).  ``det_kernel`` picks the
-        Algorithm 1 evaluation kernel (:data:`~repro.core.exact.DET_KERNELS`;
-        both are bit-for-bit identical, ``"reference"`` is the slower
-        seed transcription kept for differential testing).  ``cache`` is
+        Algorithm 1 evaluation kernel (:data:`~repro.core.exact.DET_KERNELS`:
+        ``"fast"``/``"reference"`` are bit-for-bit identical with
+        ``"reference"`` the slower seed transcription kept for
+        differential testing; ``"vec"`` is the NumPy subset-doubling
+        kernel — same provenance counters, probability within 1e-12,
+        much faster on large partitions).  ``cache`` is
         an optional :class:`~repro.core.dominance.DominanceCache` shared
         across queries (see :meth:`skyline_probabilities`); it never
         changes the answer.
@@ -200,9 +203,10 @@ class SkylineProbabilityEngine:
         flagged ``degraded=True`` with the reason recorded;
         ``"raise"`` propagates
         :class:`~repro.errors.DeadlineExceededError`.  An armed deadline
-        routes exact work through the ``"reference"`` kernel (same
-        bit-for-bit answer, per-term accounting); ``sam``/``sam+``/
-        ``naive`` have predictable cost and ignore the deadline.
+        routes ``"fast"`` exact work through the ``"reference"`` kernel
+        (same bit-for-bit answer, per-term accounting); ``"vec"`` checks
+        the deadline natively between its doubling levels.  ``sam``/
+        ``sam+``/``naive`` have predictable cost and ignore the deadline.
         """
         competitors, target_values, duplicate = self._resolve_target(target)
         if method not in METHODS:
@@ -224,13 +228,17 @@ class SkylineProbabilityEngine:
         # `duplicate` is part of the key: an index query for object i and
         # an external-object query for the same values are *different*
         # questions (the former excludes object i from the competitors,
-        # the latter answers 0 by the duplicate convention).
+        # the latter answers 0 by the duplicate convention).  The kernel
+        # is part of the key because "vec" answers differ from the
+        # recursive kernels in the last ulps — a memo hit must never
+        # cross kernels.
         cache_key = (
             target_values,
             duplicate,
             method,
             use_absorption,
             use_partition,
+            det_kernel,
             self._preferences.version,
         )
         cached = self._exact_cache.get(cache_key)

@@ -55,13 +55,19 @@ __all__ = [
 #: Refuse to enumerate more than 2^DEFAULT_MAX_OBJECTS subsets by default.
 DEFAULT_MAX_OBJECTS = 25
 
-#: Evaluation kernels for the shared-computation traversal.  Both perform
-#: the *same* float operations in the same order, so their results are
-#: bit-for-bit identical (differentially tested); "fast" trims interpreter
-#: overhead (no per-term budget check, inlined leaf level, analytic term
-#: count), "reference" is the original direct transcription of Algorithm 1
-#: kept as the differential-testing and benchmarking baseline.
-DET_KERNELS = ("fast", "reference")
+#: Evaluation kernels for the shared-computation traversal.  "fast" and
+#: "reference" perform the *same* float operations in the same order, so
+#: their results are bit-for-bit identical (differentially tested);
+#: "fast" trims interpreter overhead (no per-term budget check, inlined
+#: leaf level, analytic term count), "reference" is the original direct
+#: transcription of Algorithm 1 kept as the differential-testing and
+#: benchmarking baseline.  "vec" (:mod:`repro.core.exact_vec`) replaces
+#: the recursive walk with a NumPy subset-doubling evaluation: identical
+#: ``terms_evaluated``/``objects_used`` provenance, probability equal to
+#: the recursive kernels within 1e-12 (relative, or absolute under
+#: inclusion-exclusion cancellation; summation order differs),
+#: roughly an order of magnitude faster at n ≈ 20 dominators.
+DET_KERNELS = ("fast", "reference", "vec")
 
 #: Inclusion-exclusion terms between wall-clock deadline checks.  A
 #: bitmask interval keeps the per-term cost of an armed deadline to one
@@ -162,7 +168,9 @@ def skyline_probability_det(
     max_terms:
         Optional guard on the number of inclusion-exclusion terms visited.
         Per-term accounting needs the reference traversal, so a set
-        ``max_terms`` implies ``kernel="reference"``.
+        ``max_terms`` implies the reference kernel regardless of
+        ``kernel`` (truncating the vectorized evaluation mid-level has
+        no per-term analogue).
     share_computation:
         ``True`` (default) uses the paper's O(d)-per-term sharing scheme;
         ``False`` recomputes every ``Pr(E_I)`` from scratch — only useful
@@ -172,6 +180,11 @@ def skyline_probability_det(
         ``"reference"`` run the identical float-operation sequence and
         return bit-for-bit equal results; ``"reference"`` is the original
         transcription kept as the differential-test / benchmark baseline.
+        ``"vec"`` evaluates the subset lattice with NumPy array doubling
+        (:mod:`repro.core.exact_vec`): same provenance counters, the
+        probability agrees within 1e-12 (relative, or absolute under
+        cancellation), and large
+        partitions run roughly an order of magnitude faster.
     cache:
         Optional :class:`~repro.core.dominance.DominanceCache` shared
         across queries (batch evaluation); never changes the answer.
@@ -179,10 +192,12 @@ def skyline_probability_det(
         Optional absolute :func:`time.monotonic` timestamp; the subset
         enumeration checks it periodically and raises
         :class:`~repro.errors.DeadlineExceededError` once it has passed.
-        Per-term accounting needs the reference traversal, so an armed
-        deadline implies ``kernel="reference"`` (which is bit-for-bit
-        identical to ``"fast"``, just slower) — the unarmed happy path
-        pays nothing.
+        For ``"fast"``/``"reference"`` an armed deadline routes through
+        the reference traversal (bit-for-bit identical, per-term
+        accounting every 1024 terms); ``"vec"`` honours the deadline
+        natively between doubling levels (coarser granularity, each
+        level is milliseconds at feasible ``n``).  The unarmed happy
+        path pays nothing either way.
     """
     if kernel not in DET_KERNELS:
         raise ValueError(
@@ -209,7 +224,13 @@ def skyline_probability_det(
     with obs.stage("exact"):
         if not share_computation:
             result = _det_without_sharing(factor_lists, max_terms, deadline_at)
-        elif kernel == "reference" or max_terms is not None or deadline_at is not None:
+        elif kernel == "vec" and max_terms is None:
+            # Imported lazily: exact_vec imports this module for the
+            # shared helpers, so a top-level import would be circular.
+            from repro.core.exact_vec import det_shared_vec
+
+            result = det_shared_vec(factor_lists, deadline_at)
+        elif kernel != "fast" or max_terms is not None or deadline_at is not None:
             result = _det_shared_reference(factor_lists, max_terms, deadline_at)
         else:
             result = _det_shared_fast(factor_lists)

@@ -9,6 +9,7 @@ from repro.core.preferences import PreferenceModel
 __all__ = [
     "uncertain_instance",
     "disjoint_instance",
+    "shared_value_instance",
     "edit_script",
     "apply_edit",
 ]
@@ -44,6 +45,44 @@ def uncertain_instance(draw):
                 preferences.set_preference(
                     j, values[j][x], values[j][y], forward, backward
                 )
+    return preferences, competitors, target
+
+
+@st.composite
+def shared_value_instance(draw):
+    """A wider random space (up to 8 competitors) over small per-dimension
+    value pools, so competitors share ``(dimension, value)`` dominance keys
+    heavily — the regime both the recursive kernels' reference counting
+    and the vec kernel's masked-multiply path exist for.  More doubling
+    levels than :func:`uncertain_instance` without exploding the lattice.
+    """
+    d = draw(st.integers(min_value=1, max_value=3))
+    n = draw(st.integers(min_value=1, max_value=8))
+    values = [[f"o{j}", f"a{j}", f"b{j}", f"c{j}"] for j in range(d)]
+    target = tuple(f"o{j}" for j in range(d))
+    preferences = PreferenceModel(d)
+    grid = [0.0, 0.25, 0.5, 0.75, 1.0]
+    for j in range(d):
+        names = values[j]
+        for x in range(len(names)):
+            for y in range(x + 1, len(names)):
+                forward = draw(st.sampled_from(grid))
+                backward = draw(
+                    st.sampled_from([p for p in grid if p + forward <= 1.0])
+                )
+                preferences.set_preference(
+                    j, names[x], names[y], forward, backward
+                )
+    competitors = []
+    seen = {target}
+    for _ in range(n):
+        candidate = tuple(
+            values[j][draw(st.integers(min_value=0, max_value=3))]
+            for j in range(d)
+        )
+        if candidate not in seen:
+            seen.add(candidate)
+            competitors.append(candidate)
     return preferences, competitors, target
 
 

@@ -144,9 +144,10 @@ class TestWorkersChunksDeterminism:
         )
         assert list(result.probabilities) == serial
 
-    def test_unpicklable_model_falls_back_to_threads(self):
+    def test_unpicklable_model_falls_back_inprocess(self):
         # A class defined inside the test body cannot be pickled, which
-        # forces the threaded executor; answers must not change.
+        # vetoes the process pool (work then runs in-process,
+        # sequentially); answers must not change.
         class LocalModel(HashedPreferenceModel):
             pass
 
@@ -169,6 +170,74 @@ class TestWorkersChunksDeterminism:
         )
         assert list(result.probabilities) == serial
         assert result.workers == 3
+
+
+class TestSingleCoreScheduling:
+    """Regression: ``workers>1`` must never be slower by construction.
+
+    ``results/parallel_batch.md`` once recorded ``workers=4`` ~10%
+    slower than ``workers=1``: on a single-core host the auto executor
+    fell back to a ``ThreadPoolExecutor`` whose GIL-bound threads only
+    added context switches.  The fallback now runs chunks sequentially;
+    a thread pool is used solely when ``executor="thread"`` is forced.
+    """
+
+    def test_auto_fallback_avoids_thread_pool_on_one_core(self, monkeypatch):
+        import repro.core.batch as batch_module
+
+        monkeypatch.setattr(batch_module, "_effective_cores", lambda: 1)
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError(
+                "auto fallback must not construct a thread pool"
+            )
+
+        monkeypatch.setattr(batch_module, "ThreadPoolExecutor", forbidden)
+        serial = _serial_loop(_engine("zipf"), "det+")
+        result = batch_skyline_probabilities(
+            _engine("zipf"), method="det+", workers=4
+        )
+        assert list(result.probabilities) == serial
+        assert result.workers == 4
+
+    def test_unpicklable_fallback_avoids_thread_pool(self, monkeypatch):
+        import repro.core.batch as batch_module
+
+        class LocalModel(HashedPreferenceModel):
+            pass
+
+        monkeypatch.setattr(
+            batch_module,
+            "ThreadPoolExecutor",
+            lambda *a, **k: (_ for _ in ()).throw(
+                AssertionError("auto fallback must not construct a thread pool")
+            ),
+        )
+        dataset = block_zipf_dataset(20, 3, seed=60)
+        engine = SkylineProbabilityEngine(dataset, LocalModel(3, seed=61))
+        result = batch_skyline_probabilities(
+            engine, method="det+", workers=4
+        )
+        assert len(result.probabilities) == len(dataset)
+
+    def test_forced_thread_executor_still_fans_out(self, monkeypatch):
+        import repro.core.batch as batch_module
+
+        constructed = []
+        real_pool = batch_module.ThreadPoolExecutor
+
+        class SpyPool(real_pool):
+            def __init__(self, *args, max_workers=None, **kwargs):
+                constructed.append(max_workers)
+                super().__init__(*args, max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(batch_module, "ThreadPoolExecutor", SpyPool)
+        serial = _serial_loop(_engine("zipf"), "det+")
+        result = batch_skyline_probabilities(
+            _engine("zipf"), method="det+", workers=3, executor="thread"
+        )
+        assert constructed == [3]
+        assert list(result.probabilities) == serial
 
 
 class TestPropertyBased:

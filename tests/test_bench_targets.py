@@ -92,8 +92,13 @@ class TestParallelBatchBenchmark:
         (table,) = experiment.run("quick")
         rows = {row["configuration"]: row for row in table.rows}
         assert "serial loop (seed)" in rows
-        assert all(row["identical"] for row in rows.values())
+        # fast-kernel rows reproduce the serial answers exactly; the
+        # vec-kernel rows are held to the kernel's 1e-12 contract
+        for configuration, row in rows.items():
+            bound = 1e-12 if "vec" in configuration else 0.0
+            assert row["max |Δ| vs serial"] <= bound
         assert rows["batch, workers=1"]["speedup vs serial"] > 1.0
+        assert "batch, workers=1 (vec kernel)" in rows
 
 
 class TestRobustnessOverheadBenchmark:

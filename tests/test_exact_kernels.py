@@ -1,29 +1,56 @@
 """Differential tests for the Algorithm 1 evaluation kernels.
 
-``skyline_probability_det`` ships two kernels for the shared-computation
-traversal: the original recursive transcription (``"reference"``) and an
-interpreter-lean rewrite (``"fast"``, the default).  The fast kernel must
-perform the same float operations in the same order, so every result —
-probability, visited-term count, objects used — must be bit-for-bit equal.
+``skyline_probability_det`` ships three kernels for the shared-computation
+traversal:
+
+* ``"reference"`` — the original recursive transcription, the oracle;
+* ``"fast"`` — an interpreter-lean rewrite performing the same float
+  operations in the same order, so every result (probability,
+  visited-term count, objects used) must be **bit-for-bit** equal;
+* ``"vec"`` — a NumPy subset-doubling evaluation
+  (:mod:`repro.core.exact_vec`): identical ``terms_evaluated``/
+  ``objects_used`` provenance, probability equal within a ≤1e-12
+  tolerance — relative, or absolute under inclusion-exclusion
+  cancellation (different but equally valid summation order; the exact
+  equality classes are pinned in ``tests/test_numerics_vec.py``).
+
+The tri-kernel suite drives all three over the same inputs — paper
+examples, preprocessed partitions, raw datasets, hypothesis-generated
+spaces — and over the budget/deadline/duplicate edge cases.
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 from hypothesis import given, settings
 
+from repro.core.dynamic import DynamicSkylineEngine
 from repro.core.exact import (
     DET_KERNELS,
     skyline_probability_det,
 )
+from repro.core.exact_vec import VEC_MAX_OBJECTS
 from repro.core.engine import SkylineProbabilityEngine
 from repro.core.preferences import PreferenceModel
 from repro.data.blockzipf import block_zipf_dataset
 from repro.data.examples import observation_example, running_example
 from repro.data.procedural import HashedPreferenceModel
-from repro.errors import ComputationBudgetError, ReproError
+from repro.errors import (
+    ComputationBudgetError,
+    DeadlineExceededError,
+    ReproError,
+)
 
-from strategies import disjoint_instance, uncertain_instance
+from strategies import (
+    disjoint_instance,
+    shared_value_instance,
+    uncertain_instance,
+)
+
+#: Relative tolerance of the vec-vs-recursive probability contract.
+VEC_REL_TOL = 1e-12
 
 
 def _both_kernels(preferences, competitors, target, **options):
@@ -37,7 +64,38 @@ def _both_kernels(preferences, competitors, target, **options):
     )
 
 
+def _all_kernels(preferences, competitors, target, **options):
+    return {
+        kernel: skyline_probability_det(
+            preferences, competitors, target, kernel=kernel, **options
+        )
+        for kernel in DET_KERNELS
+    }
+
+
+def assert_tri_kernel_agreement(results):
+    """The cross-kernel contract, in one place.
+
+    ``fast`` vs ``reference``: bit-for-bit.  ``vec`` vs ``reference``:
+    integer provenance exactly equal, probability within
+    :data:`VEC_REL_TOL` — relative, or absolute when inclusion-exclusion
+    cancellation leaves a result much smaller than the summed terms
+    (relative error is amplified there for *both* summation orders; see
+    ``tests/test_numerics_vec.py``).
+    """
+    reference = results["reference"]
+    assert results["fast"] == reference
+    vec = results["vec"]
+    assert vec.terms_evaluated == reference.terms_evaluated
+    assert vec.objects_used == reference.objects_used
+    assert vec.probability == pytest.approx(
+        reference.probability, rel=VEC_REL_TOL, abs=VEC_REL_TOL
+    )
+
+
 class TestBitForBitEquality:
+    """The original two-kernel contract: fast == reference exactly."""
+
     @pytest.mark.parametrize("example", [running_example, observation_example])
     def test_paper_examples(self, example):
         dataset, preferences = example()
@@ -102,6 +160,233 @@ class TestBitForBitEquality:
             )
 
 
+class TestTriKernelDifferential:
+    """vec vs fast vs reference over the same inputs."""
+
+    @pytest.mark.parametrize("example", [running_example, observation_example])
+    def test_paper_examples(self, example):
+        dataset, preferences = example()
+        for index in range(len(dataset)):
+            assert_tri_kernel_agreement(
+                _all_kernels(
+                    preferences, list(dataset.others(index)), dataset[index]
+                )
+            )
+
+    def test_preprocessed_blockzipf_partitions(self):
+        dataset = block_zipf_dataset(40, 3, seed=20)
+        preferences = HashedPreferenceModel(3, seed=21)
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        for index in range(0, 40, 5):
+            prep = engine.skyline_probability(
+                index, method="det+"
+            ).preprocessing
+            competitors = list(dataset.others(index))
+            for part in prep.partitions:
+                group = [competitors[i] for i in part]
+                assert_tri_kernel_agreement(
+                    _all_kernels(preferences, group, dataset[index])
+                )
+
+    def test_raw_unpreprocessed_dataset(self):
+        # the whole dataset as competitors, no absorption/partition —
+        # one big shared-key instance per target
+        dataset = block_zipf_dataset(14, 3, seed=26)
+        preferences = HashedPreferenceModel(3, seed=27)
+        for index in range(0, 14, 3):
+            assert_tri_kernel_agreement(
+                _all_kernels(
+                    preferences, list(dataset.others(index)), dataset[index]
+                )
+            )
+
+    @given(uncertain_instance())
+    @settings(max_examples=40, deadline=None)
+    def test_random_spaces(self, instance):
+        preferences, competitors, target = instance
+        assert_tri_kernel_agreement(
+            _all_kernels(preferences, competitors, target)
+        )
+
+    @given(disjoint_instance())
+    @settings(max_examples=30, deadline=None)
+    def test_random_disjoint_spaces(self, instance):
+        # pairwise-disjoint keys: the vec kernel's scalar (never-shared)
+        # path end to end — the mask index array is never even built
+        preferences, competitors, target = instance
+        assert_tri_kernel_agreement(
+            _all_kernels(preferences, competitors, target)
+        )
+
+    @given(shared_value_instance())
+    @settings(max_examples=40, deadline=None)
+    def test_random_shared_key_spaces(self, instance):
+        # up to 8 doubling levels with heavy key sharing: the vec
+        # kernel's masked-multiply path under load
+        preferences, competitors, target = instance
+        assert_tri_kernel_agreement(
+            _all_kernels(preferences, competitors, target)
+        )
+
+    def test_duplicate_target_is_exact_zero(self):
+        dataset, preferences = running_example()
+        competitors = [dataset[0], dataset[1]]
+        for kernel, result in _all_kernels(
+            preferences, competitors, dataset[0]
+        ).items():
+            assert result.probability == 0.0, kernel
+            assert result.terms_evaluated == 0
+            assert result.objects_used == 0
+
+    def test_empty_partition_is_exact_one(self):
+        # all competitors filtered (never dominate): the certain skyline
+        preferences = PreferenceModel(1)
+        preferences.set_preference(0, "a", "o", 0.0)
+        for kernel, result in _all_kernels(
+            preferences, [("a",)], ("o",)
+        ).items():
+            assert result.probability == 1.0, kernel
+            assert result.terms_evaluated == 0
+
+    def test_singleton_partition(self):
+        preferences = PreferenceModel(2)
+        preferences.set_preference(0, "x", "o0", 0.3)
+        preferences.set_preference(1, "y", "o1", 0.7)
+        results = _all_kernels(preferences, [("x", "y")], ("o0", "o1"))
+        # one competitor: a single multiplication chain, so even vec is
+        # bit-identical (pinned in test_numerics_vec.py)
+        assert results["vec"] == results["reference"] == results["fast"]
+
+    def test_underflow_pruning_parity(self):
+        # factors of 1e-300 make every pairwise product underflow to
+        # exactly 0.0, triggering zero-subtree pruning mid-lattice; the
+        # visited-term count must agree across all three kernels
+        preferences = PreferenceModel(1)
+        for value in ("a", "b", "c"):
+            preferences.set_preference(0, value, "o", 1e-300)
+        results = _all_kernels(
+            preferences, [("a",), ("b",), ("c",)], ("o",)
+        )
+        reference = results["reference"]
+        # singles visited (3), pairs visited but zero (3), the triple
+        # is pruned below the zero pairs
+        assert reference.terms_evaluated == 6
+        assert_tri_kernel_agreement(results)
+
+    def test_max_terms_truncation_raises_on_every_kernel(self):
+        dataset, preferences = running_example()
+        for kernel in DET_KERNELS:
+            with pytest.raises(ComputationBudgetError, match="max_terms"):
+                skyline_probability_det(
+                    preferences,
+                    list(dataset.others(0)),
+                    dataset[0],
+                    max_terms=2,
+                    kernel=kernel,
+                )
+
+    def test_deadline_expiry_mid_walk_raises_on_every_kernel(self):
+        dataset = block_zipf_dataset(14, 3, seed=26)
+        preferences = HashedPreferenceModel(3, seed=27)
+        expired = time.monotonic() - 0.001
+        for kernel in DET_KERNELS:
+            with pytest.raises(DeadlineExceededError):
+                skyline_probability_det(
+                    preferences,
+                    list(dataset.others(0)),
+                    dataset[0],
+                    kernel=kernel,
+                    deadline_at=expired,
+                )
+
+    def test_engine_degrades_vec_on_deadline(self):
+        # an impossible deadline forces the engine's Det→Sam degradation
+        # with the vec kernel selected, same as the recursive kernels
+        dataset = block_zipf_dataset(30, 3, seed=28)
+        preferences = HashedPreferenceModel(3, seed=29)
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        report = engine.skyline_probability(
+            0, method="det+", det_kernel="vec", deadline=1e-9, seed=7
+        )
+        assert report.degraded
+        assert report.method.startswith("sam")
+
+    def test_engine_end_to_end_vec(self):
+        dataset = block_zipf_dataset(25, 3, seed=22)
+        preferences = HashedPreferenceModel(3, seed=23)
+        vec_engine = SkylineProbabilityEngine(dataset, preferences)
+        ref_engine = SkylineProbabilityEngine(dataset, preferences)
+        for index in range(len(dataset)):
+            vec = vec_engine.skyline_probability(
+                index, method="det+", det_kernel="vec"
+            )
+            reference = ref_engine.skyline_probability(
+                index, method="det+", det_kernel="reference"
+            )
+            assert vec.probability == pytest.approx(
+                reference.probability, rel=VEC_REL_TOL, abs=VEC_REL_TOL
+            )
+
+    def test_engine_memo_never_crosses_kernels(self):
+        # one engine queried with both kernels: the second query must be
+        # answered by its own kernel, not the other kernel's memo entry
+        dataset = block_zipf_dataset(25, 3, seed=22)
+        preferences = HashedPreferenceModel(3, seed=23)
+        mixed = SkylineProbabilityEngine(dataset, preferences)
+        pinned = SkylineProbabilityEngine(dataset, preferences)
+        for index in range(len(dataset)):
+            mixed.skyline_probability(index, method="det+")  # fast, memoised
+            mixed_vec = mixed.skyline_probability(
+                index, method="det+", det_kernel="vec"
+            )
+            assert mixed_vec == pinned.skyline_probability(
+                index, method="det+", det_kernel="vec"
+            )
+
+    def test_batch_planner_routes_vec(self):
+        dataset = block_zipf_dataset(30, 3, seed=60)
+        preferences = HashedPreferenceModel(3, seed=61)
+        from repro.core.batch import batch_skyline_probabilities
+
+        serial = [
+            SkylineProbabilityEngine(dataset, preferences)
+            .skyline_probability(i, method="det+", det_kernel="vec")
+            .probability
+            for i in range(len(dataset))
+        ]
+        result = batch_skyline_probabilities(
+            SkylineProbabilityEngine(dataset, preferences),
+            method="det+",
+            det_kernel="vec",
+            workers=2,
+        )
+        assert list(result.probabilities) == serial
+
+    def test_dynamic_engine_warm_views_match_cold_rebuild(self):
+        # the dynamic engine's warm recompute must stay bit-identical to
+        # a cold rebuild under the same kernel — for vec too
+        dataset = block_zipf_dataset(30, 3, seed=40)
+        preferences = HashedPreferenceModel(3, seed=41)
+        dynamic = DynamicSkylineEngine(
+            dataset, preferences.copy(), det_kernel="vec"
+        )
+        dynamic.insert_object(tuple(f"new{j}" for j in range(3)))
+        dynamic.remove_object(0)
+        cold = DynamicSkylineEngine(
+            dynamic.dataset, preferences.copy(), det_kernel="vec"
+        )
+        for index in range(dynamic.cardinality):
+            assert (
+                dynamic.skyline_probability(index).probability
+                == cold.skyline_probability(index).probability
+            )
+
+    def test_dynamic_engine_rejects_unknown_kernel(self):
+        dataset, preferences = running_example()
+        with pytest.raises(ReproError, match="det_kernel"):
+            DynamicSkylineEngine(dataset, preferences, det_kernel="gpu")
+
+
 class TestInstrumentationNeutrality:
     """Enabling ``repro.obs`` must never change an answer.
 
@@ -114,9 +399,9 @@ class TestInstrumentationNeutrality:
 
         dataset, preferences = running_example()
         competitors, target = list(dataset.others(0)), dataset[0]
-        plain = _both_kernels(preferences, competitors, target)
+        plain = _all_kernels(preferences, competitors, target)
         with obs.enabled():
-            instrumented = _both_kernels(preferences, competitors, target)
+            instrumented = _all_kernels(preferences, competitors, target)
         assert instrumented == plain
 
     @pytest.mark.parametrize(
@@ -169,6 +454,24 @@ class TestBudgetsAndValidation:
                     max_objects=5,
                     kernel=kernel,
                 )
+
+    def test_vec_memory_ceiling_guard(self):
+        # the dense subset array is O(2^n) floats, so the vec kernel
+        # refuses beyond VEC_MAX_OBJECTS even when max_objects allows it
+        preferences = PreferenceModel(1)
+        competitors = []
+        for index in range(VEC_MAX_OBJECTS + 2):
+            value = f"v{index}"
+            preferences.set_preference(0, value, "o", 0.5)
+            competitors.append((value,))
+        with pytest.raises(ComputationBudgetError, match="vec"):
+            skyline_probability_det(
+                preferences,
+                competitors,
+                ("o",),
+                kernel="vec",
+                max_objects=VEC_MAX_OBJECTS + 10,
+            )
 
     def test_unknown_kernel_rejected(self):
         dataset, preferences = running_example()
