@@ -1,0 +1,96 @@
+"""Serving-tier benchmark: coalesced burst round-trips over HTTP.
+
+Times one full burst — N concurrent seeded queries fired at a warm
+served engine, coalescing into shared batches, answers awaited — end to
+end through the real asyncio server and client, and compares it against
+the same queries answered one connection at a time.  The experiment
+harness twin (``python -m repro.bench serving_load``) measures the
+richer mixed read/edit scenario; this benchmark pins the latency kernel
+pytest-benchmark can regress on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.dynamic import DynamicSkylineEngine
+from repro.core.objects import Dataset
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.procedural import HashedPreferenceModel
+from repro.serve import ServeClient, ServeConfig, SkylineServer
+
+BURST = 8
+SAMPLES = 200
+
+
+@pytest.fixture(scope="module")
+def warm_engine():
+    dataset = block_zipf_dataset(24, 3, seed=421)
+    return DynamicSkylineEngine(
+        Dataset(list(dataset)), HashedPreferenceModel(3, seed=422)
+    )
+
+
+def _burst(engine, *, window: float, concurrent: bool) -> list:
+    async def run() -> list:
+        server = SkylineServer(
+            engine, ServeConfig(port=0, window=window, observe=False)
+        )
+        await server.start()
+        try:
+            clients = [
+                ServeClient("127.0.0.1", server.port) for _ in range(BURST)
+            ]
+            for client in clients:
+                await client.connect()
+            try:
+                if concurrent:
+                    responses = await asyncio.gather(
+                        *(
+                            client.query(
+                                index % engine.cardinality,
+                                seed=600 + index,
+                                method="sam", samples=SAMPLES,
+                            )
+                            for index, client in enumerate(clients)
+                        )
+                    )
+                else:
+                    responses = [
+                        await client.query(
+                            index % engine.cardinality,
+                            seed=600 + index,
+                            method="sam", samples=SAMPLES,
+                        )
+                        for index, client in enumerate(clients)
+                    ]
+            finally:
+                for client in clients:
+                    await client.close()
+            return responses
+        finally:
+            await server.drain()
+
+    return asyncio.run(run())
+
+
+def test_coalesced_burst(benchmark, warm_engine):
+    responses = benchmark.pedantic(
+        _burst, args=(warm_engine,),
+        kwargs={"window": 0.002, "concurrent": True},
+        rounds=3, iterations=1,
+    )
+    assert all(response.status == 200 for response in responses)
+    assert any(response.data["coalesced"] for response in responses)
+
+
+def test_serial_burst_baseline(benchmark, warm_engine):
+    responses = benchmark.pedantic(
+        _burst, args=(warm_engine,),
+        kwargs={"window": 0.0, "concurrent": False},
+        rounds=3, iterations=1,
+    )
+    assert all(response.status == 200 for response in responses)
+    assert all(response.data["batch_size"] == 1 for response in responses)

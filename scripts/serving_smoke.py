@@ -1,0 +1,165 @@
+"""End-to-end smoke test of ``python -m repro serve`` (used by CI).
+
+Starts a real server subprocess on an ephemeral port, fires concurrent
+coalesced queries plus one edit at it over HTTP, scrapes ``/metrics``,
+asks for a graceful drain, and asserts the process exits cleanly.  Run
+from the repository root::
+
+    PYTHONPATH=src python scripts/serving_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.objects import Dataset  # noqa: E402
+from repro.core.preferences import PreferenceModel  # noqa: E402
+from repro.io import save_dataset, save_preferences  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+
+OBJECTS = [
+    ("a", "x"),
+    ("a", "y"),
+    ("b", "x"),
+    ("b", "z"),
+    ("c", "y"),
+    ("c", "z"),
+]
+# "d"/"w" only appear via the /edit insert the smoke performs.
+PAIRS = {
+    0: [
+        ("a", "b", 0.7),
+        ("a", "c", 0.6),
+        ("b", "c", 0.4),
+        ("a", "d", 0.5),
+        ("b", "d", 0.6),
+        ("c", "d", 0.3),
+    ],
+    1: [
+        ("x", "y", 0.5),
+        ("x", "z", 0.8),
+        ("y", "z", 0.3),
+        ("x", "w", 0.4),
+        ("y", "w", 0.7),
+        ("z", "w", 0.5),
+    ],
+}
+
+
+def write_inputs(directory: Path) -> tuple:
+    dataset_path = directory / "dataset.json"
+    preferences_path = directory / "preferences.json"
+    save_dataset(Dataset(OBJECTS), dataset_path)
+    model = PreferenceModel(2)
+    for dimension, rows in PAIRS.items():
+        for a, b, forward in rows:
+            model.set_preference(dimension, a, b, forward, 1.0 - forward)
+    save_preferences(model, preferences_path)
+    return dataset_path, preferences_path
+
+
+async def exercise(port: int) -> None:
+    async with ServeClient("127.0.0.1", port) as probe:
+        health = await probe.healthz()
+        assert health.status == 200 and health.data["status"] == "ok", health
+
+        # Concurrent seeded queries: one client per caller so the server
+        # actually sees them in flight together and coalesces.
+        clients = [ServeClient("127.0.0.1", port) for _ in range(8)]
+        for client in clients:
+            await client.connect()
+        try:
+            responses = await asyncio.gather(
+                *(
+                    client.query(
+                        index % len(OBJECTS),
+                        seed=1000 + index,
+                        method="sam",
+                        samples=200,
+                    )
+                    for index, client in enumerate(clients)
+                )
+            )
+        finally:
+            for client in clients:
+                await client.close()
+        assert all(r.status == 200 for r in responses), responses
+        assert any(r.data["coalesced"] for r in responses), (
+            "no query was coalesced"
+        )
+
+        edit = await probe.edit("insert_object", values=["d", "w"])
+        assert edit.status == 200 and edit.data["objects"] == 7, edit
+
+        after = await probe.query(6, method="auto")
+        assert after.status == 200, after
+
+        metrics = await probe.metrics()
+        assert metrics.status == 200, metrics
+        for name in (
+            "repro_serve_requests_total",
+            "repro_serve_coalesced_batches_total",
+            "repro_serve_edits_total",
+        ):
+            assert name in metrics.text, f"{name} missing from /metrics"
+
+        drain = await probe.drain()
+        assert drain.status == 202, drain
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as scratch:
+        dataset_path, preferences_path = write_inputs(Path(scratch))
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = str(ROOT / "src")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--dataset",
+                str(dataset_path),
+                "--preferences",
+                str(preferences_path),
+                "--port",
+                "0",
+                "--window",
+                "0.05",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=environment,
+            cwd=str(ROOT),
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"serving on [\d.]+:(\d+)", banner)
+            assert match, f"unexpected startup banner: {banner!r}"
+            port = int(match.group(1))
+            asyncio.run(exercise(port))
+            remainder = process.communicate(timeout=30)[0]
+        except BaseException:
+            process.kill()
+            process.communicate()
+            raise
+        assert process.returncode == 0, (
+            f"server exited with {process.returncode}: {remainder}"
+        )
+        assert "drained cleanly" in remainder, remainder
+    print("serving smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ Usage::
     python -m repro stats   --dataset d.json --preferences p.json --prometheus
     python -m repro dynamic --dataset d.json --preferences p.json \
                             --edits edits.json --verify
+    python -m repro serve   --dataset d.json --preferences p.json --port 8642
 
 Datasets and preference models load from the JSON formats written by
 :mod:`repro.io` (``.csv`` inputs are also accepted: objects one-per-row,
@@ -339,6 +340,72 @@ def _cmd_dynamic(arguments: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.core.dynamic import DynamicSkylineEngine
+    from repro.serve import ServeConfig, SkylineServer
+
+    view_path = Path(arguments.view) if arguments.view else None
+    if view_path is not None and view_path.exists():
+        engine = DynamicSkylineEngine.load_view(view_path)
+    else:
+        if not arguments.dataset or not arguments.preferences:
+            raise ReproError(
+                "serve needs --dataset and --preferences (or --view "
+                "pointing at an existing warm-view snapshot)"
+            )
+        dataset, preferences = _load_inputs(arguments)
+        engine = DynamicSkylineEngine(dataset, preferences)
+    default_query: dict = {
+        "method": arguments.method,
+        "epsilon": arguments.epsilon,
+        "delta": arguments.delta,
+    }
+    if arguments.samples is not None:
+        default_query["samples"] = arguments.samples
+    if arguments.deadline is not None:
+        default_query["deadline"] = arguments.deadline
+        default_query["on_deadline"] = arguments.on_deadline
+        if arguments.max_overrun is not None:
+            default_query["max_overrun"] = arguments.max_overrun
+    config = ServeConfig(
+        host=arguments.host,
+        port=arguments.port,
+        window=arguments.window,
+        max_batch=arguments.max_batch,
+        max_pending=arguments.max_pending,
+        default_query=default_query,
+    )
+
+    async def run() -> None:
+        server = SkylineServer(engine, config)
+        await server.start()
+        print(
+            f"serving on {config.host}:{server.port} "
+            f"({engine.cardinality} objects warm)",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for signal_number in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signal_number,
+                    lambda: asyncio.ensure_future(server.drain()),
+                )
+            except (NotImplementedError, RuntimeError, OSError):
+                pass  # platforms without loop signal support (e.g. Windows)
+        await server.serve_forever()
+
+    asyncio.run(run())
+    if view_path is not None:
+        engine.save_view(view_path)
+        print(f"warm view saved to {view_path}", flush=True)
+    print("drained cleanly", flush=True)
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -421,6 +488,60 @@ def _build_parser() -> argparse.ArgumentParser:
         "incremental view to match bit-for-bit (exit 3 on mismatch)",
     )
     dynamic.set_defaults(handler=_cmd_dynamic)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve coalesced skyline queries over HTTP from a warm "
+        "dynamic engine (POST /query, POST /edit, GET /metrics)",
+    )
+    serve.add_argument("--dataset", help="dataset .json/.csv")
+    serve.add_argument(
+        "--preferences", help="preference model .json/.csv"
+    )
+    serve.add_argument(
+        "--default", type=float, default=None,
+        help="symmetric default probability for unset pairs (CSV input)",
+    )
+    serve.add_argument(
+        "--view", default=None,
+        help="warm-view snapshot path: loaded instead of "
+        "--dataset/--preferences when it exists, written back on drain",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="TCP port (0 binds an ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--window", type=float, default=0.002,
+        help="coalescing window in seconds",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="coalesced queries that trigger an immediate batch",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=256,
+        help="admission bound on queued queries (429 beyond it)",
+    )
+    serve.add_argument("--method", choices=METHODS, default="auto")
+    serve.add_argument("--epsilon", type=float, default=0.01)
+    serve.add_argument("--delta", type=float, default=0.01)
+    serve.add_argument("--samples", type=int, default=None)
+    serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-query wall-clock deadline in seconds",
+    )
+    serve.add_argument(
+        "--on-deadline", choices=("degrade", "raise"), default="degrade",
+        help="deadline policy: degrade to Sam (default) or fail with 504",
+    )
+    serve.add_argument(
+        "--max-overrun", type=float, default=None,
+        help="cap (seconds past the deadline) on the degraded Sam "
+        "fallback; it truncates at a chunk boundary when the cap expires",
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

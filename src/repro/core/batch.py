@@ -204,7 +204,9 @@ def _effective_cores() -> int:
     """Cores this process may actually run on (affinity-aware)."""
     try:
         return len(os.sched_getaffinity(0)) or 1
-    except AttributeError:  # platforms without affinity support
+    except (AttributeError, OSError):
+        # AttributeError: platforms without affinity support; OSError:
+        # containers/cgroup setups where the affinity syscall is denied.
         return os.cpu_count() or 1
 
 
@@ -359,11 +361,13 @@ def batch_skyline_probabilities(
     delta: float = 0.01,
     samples: int | None = None,
     seed: object = None,
+    seeds: Sequence[object] | None = None,
     use_absorption: bool = True,
     use_partition: bool = True,
     det_kernel: str = "fast",
     deadline: float | None = None,
     on_deadline: str = "degrade",
+    max_overrun: float | None = None,
     max_retries: int = 2,
     backoff: float = 0.05,
     on_error: str = "salvage",
@@ -405,6 +409,14 @@ def batch_skyline_probabilities(
         As in :meth:`SkylineProbabilityEngine.skyline_probability`.
         ``seed`` feeds one spawned stream per object for the sampling
         methods, so a fixed seed fixes the whole batch output.
+    seeds:
+        Explicit per-object seed-likes (one entry per queried object,
+        each anything :func:`repro.util.rng.as_rng` accepts), overriding
+        the internal spawning.  This is how a caller merging independent
+        single-object requests into one batch — the serving tier's
+        request coalescer — keeps every answer bit-identical to the
+        direct query each request would have made: pass each request's
+        own derived stream instead of streams keyed to batch positions.
     deadline, on_deadline:
         Per-query wall-clock budget, forwarded to every query of the
         batch: an exact query that blows ``deadline`` seconds degrades to
@@ -413,6 +425,10 @@ def batch_skyline_probabilities(
         instead of stalling the batch.  With a deadline armed, exact
         methods also get per-object spawned streams so degradation stays
         bit-reproducible across ``workers``/``chunk_size`` choices.
+    max_overrun:
+        Hard ceiling (seconds) on how far past ``deadline`` the Det→Sam
+        degradation fallback may run, forwarded to every query; see
+        :meth:`SkylineProbabilityEngine.skyline_probability`.
     max_retries, backoff:
         Fault-tolerance budget per task: a failed dispatch (worker crash,
         ``BrokenProcessPool``, pickling error, injected chaos fault) is
@@ -445,7 +461,12 @@ def batch_skyline_probabilities(
     if method not in METHODS:
         raise ReproError(f"unknown method {method!r}; expected one of {METHODS}")
     validate_accuracy(epsilon, delta, samples)
-    validate_robustness(deadline=deadline, max_retries=max_retries, backoff=backoff)
+    validate_robustness(
+        deadline=deadline,
+        max_retries=max_retries,
+        backoff=backoff,
+        max_overrun=max_overrun,
+    )
     if on_deadline not in DEADLINE_POLICIES:
         raise RobustnessPolicyError(
             f"unknown on_deadline policy {on_deadline!r}; expected one of "
@@ -510,16 +531,26 @@ def batch_skyline_probabilities(
         det_kernel=det_kernel,
         deadline=deadline,
         on_deadline=on_deadline,
+        max_overrun=max_overrun,
     )
     # One spawned stream per object: independent across objects, fixed by
     # (seed, position) alone — chunking and worker count cannot move them.
     # An armed deadline spawns streams for exact methods too, so their
-    # Det→Sam degradation is equally reproducible.
-    if method in _EXACT_METHODS and deadline is None:
-        seeds: List[object] = [None] * n
+    # Det→Sam degradation is equally reproducible.  Explicit ``seeds``
+    # bypass the spawning entirely (coalesced single-object requests each
+    # bring the stream their direct query would have used).
+    if seeds is not None:
+        seed_list = list(seeds)
+        if len(seed_list) != n:
+            raise ReproError(
+                f"seeds must provide one entry per queried object "
+                f"({n}), got {len(seed_list)}"
+            )
+    elif method in _EXACT_METHODS and deadline is None:
+        seed_list: List[object] = [None] * n
     else:
-        seeds = list(spawn_rngs(seed, n))
-    tasks: List[_Task] = list(zip(range(n), index_list, seeds))
+        seed_list = list(spawn_rngs(seed, n))
+    tasks: List[_Task] = list(zip(range(n), index_list, seed_list))
 
     results: Dict[int, SkylineReport] = {}
     failure_map: Dict[int, BatchFailure] = {}

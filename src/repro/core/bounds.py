@@ -84,14 +84,19 @@ def validate_robustness(
     deadline: object = None,
     max_retries: object = None,
     backoff: object = None,
+    max_overrun: object = None,
 ) -> None:
     """Fail fast on malformed fault-tolerance parameters.
 
     The companion of :func:`validate_accuracy` for the robustness layer:
     ``deadline`` (when given) must be a positive, finite number of
-    seconds; ``max_retries`` (when given) a non-negative integer; and
-    ``backoff`` (when given) a non-negative, finite number of seconds.
-    Raises :class:`~repro.errors.RobustnessPolicyError` (a
+    seconds; ``max_retries`` (when given) a non-negative integer;
+    ``backoff`` (when given) a non-negative, finite number of seconds;
+    and ``max_overrun`` (when given) a non-negative, finite number of
+    seconds — the hard ceiling on how far past an expired ``deadline``
+    the Det→Sam degradation fallback may run (0 truncates the fallback
+    at its first opportunity).  Raises
+    :class:`~repro.errors.RobustnessPolicyError` (a
     :class:`~repro.errors.ComputationBudgetError`) with a
     parameter-specific message instead of letting ``deadline=-1`` mean
     "already expired" or ``max_retries=2.5`` truncate silently.
@@ -123,6 +128,16 @@ def validate_robustness(
             f"backoff must be a non-negative, finite number of seconds "
             f"(the base of the capped exponential retry delay), got "
             f"{backoff!r}"
+        )
+    if max_overrun is not None and (
+        not _is_real_number(max_overrun)
+        or not math.isfinite(max_overrun)
+        or max_overrun < 0
+    ):
+        raise RobustnessPolicyError(
+            f"max_overrun must be a non-negative, finite number of "
+            f"seconds or None (= the degradation fallback runs to its "
+            f"full sample budget), got {max_overrun!r}"
         )
 
 

@@ -21,6 +21,7 @@ per-object factor lists the exact algorithm and the samplers consume.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.core.objects import ObjectValues, Value
@@ -142,8 +143,17 @@ class DominanceCache:
     are impossible by construction.
 
     ``hits``/``misses`` count memo-table lookups (both tables) — they are
-    bookkeeping for benchmarks and tests, not part of the answer, and are
-    only approximate under concurrent threads.
+    bookkeeping for benchmarks and tests, not part of the answer.
+
+    The cache is **thread-safe**: every lookup and mutation runs under one
+    internal re-entrant lock (re-entrant because
+    :meth:`dominance_factors` resolves its factors through
+    :meth:`prob_prefers`), so concurrent queries sharing one warm engine —
+    the serving tier's coalesced batches, threaded batch fallbacks —
+    can neither corrupt the memo dicts nor lose counter increments:
+    ``hits + misses`` always equals the number of lookups made.  The lock
+    guards per-call critical sections only; the *answers* never depended
+    on it (cached values are pure functions of the model).
     """
 
     __slots__ = (
@@ -154,6 +164,7 @@ class DominanceCache:
         "_hits",
         "_misses",
         "_evictions",
+        "_lock",
     )
 
     def __init__(self, preferences: PreferenceModel) -> None:
@@ -166,6 +177,7 @@ class DominanceCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._lock = threading.RLock()
 
     @property
     def preferences(self) -> PreferenceModel:
@@ -199,17 +211,19 @@ class DominanceCache:
         are measured against; the stats CLI and the observability tests
         read them through this one accessor.
         """
-        return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "entries": self.entries,
-            "evictions": self._evictions,
-        }
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "entries": self.entries,
+                "evictions": self._evictions,
+            }
 
     def clear(self) -> None:
         """Drop every memoised entry (counters are kept)."""
-        self._prefers.clear()
-        self._factors.clear()
+        with self._lock:
+            self._prefers.clear()
+            self._factors.clear()
 
     def evict_preference(self, dimension: int, a: Value, b: Value) -> int:
         """Surgically drop every entry that read the ``{a, b}`` pair.
@@ -233,22 +247,23 @@ class DominanceCache:
         kept (they count lifetime lookups) and :attr:`evictions` grows by
         the same number.
         """
-        removed = 0
-        for key in ((dimension, a, b), (dimension, b, a)):
-            if self._prefers.pop(key, None) is not None:
-                removed += 1
-        stale = [
-            pair_key
-            for pair_key in self._factors
-            if dimension < len(pair_key[0])
-            and {pair_key[0][dimension], pair_key[1][dimension]} == {a, b}
-        ]
-        for pair_key in stale:
-            del self._factors[pair_key]
-        removed += len(stale)
-        self._version = self._preferences.version
-        self._evictions += removed
-        return removed
+        with self._lock:
+            removed = 0
+            for key in ((dimension, a, b), (dimension, b, a)):
+                if self._prefers.pop(key, None) is not None:
+                    removed += 1
+            stale = [
+                pair_key
+                for pair_key in self._factors
+                if dimension < len(pair_key[0])
+                and {pair_key[0][dimension], pair_key[1][dimension]} == {a, b}
+            ]
+            for pair_key in stale:
+                del self._factors[pair_key]
+            removed += len(stale)
+            self._version = self._preferences.version
+            self._evictions += removed
+            return removed
 
     def _validate(self) -> None:
         version = self._preferences.version
@@ -259,36 +274,38 @@ class DominanceCache:
 
     def prob_prefers(self, dimension: int, a: Value, b: Value) -> float:
         """Memoised ``PreferenceModel.prob_prefers``."""
-        self._validate()
-        key = (dimension, a, b)
-        try:
-            value = self._prefers[key]
-        except KeyError:
-            self._misses += 1
-            value = self._preferences.prob_prefers(dimension, a, b)
-            self._prefers[key] = value
+        with self._lock:
+            self._validate()
+            key = (dimension, a, b)
+            try:
+                value = self._prefers[key]
+            except KeyError:
+                self._misses += 1
+                value = self._preferences.prob_prefers(dimension, a, b)
+                self._prefers[key] = value
+                return value
+            self._hits += 1
             return value
-        self._hits += 1
-        return value
 
     def dominance_factors(
         self, q: Sequence[Value], o: Sequence[Value]
     ) -> Tuple[DominanceFactor, ...]:
         """Memoised :func:`dominance_factors` (returns an immutable tuple)."""
-        self._validate()
-        key = (tuple(q), tuple(o))
-        entry = self._factors.get(key)
-        if entry is not None:
-            self._hits += 1
-            return entry
-        self._misses += 1
-        _check_same_dimensionality(q, o)
-        factors = tuple(
-            (j, q[j], self.prob_prefers(j, q[j], o[j]))
-            for j in differing_dimensions(q, o)
-        )
-        self._factors[key] = factors
-        return factors
+        with self._lock:
+            self._validate()
+            key = (tuple(q), tuple(o))
+            entry = self._factors.get(key)
+            if entry is not None:
+                self._hits += 1
+                return entry
+            self._misses += 1
+            _check_same_dimensionality(q, o)
+            factors = tuple(
+                (j, q[j], self.prob_prefers(j, q[j], o[j]))
+                for j in differing_dimensions(q, o)
+            )
+            self._factors[key] = factors
+            return factors
 
 
 def factor_source(

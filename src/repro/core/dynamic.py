@@ -47,7 +47,9 @@ differential harness in ``tests/test_dynamic_differential.py`` asserts.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 import repro.obs as obs
@@ -69,9 +71,15 @@ __all__ = [
     "EditReport",
     "PartitionFactor",
     "TargetView",
+    "VIEW_SNAPSHOT_FORMAT",
 ]
 
 _Key = Tuple[int, Value]
+
+#: Warm-view snapshot layout version (see
+#: :meth:`DynamicSkylineEngine.save_view`); bumped on layout changes so a
+#: stale snapshot fails loudly instead of deserialising garbage.
+VIEW_SNAPSHOT_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -169,7 +177,11 @@ class DynamicSkylineEngine:
 
     The engine is not thread-safe for concurrent edits; reads of the
     maintained view are plain attribute reads and may race an edit only
-    with stale-but-consistent results.
+    with stale-but-consistent results.  Callers that mix concurrent
+    queries and edits must serialise them externally — the serving tier
+    (:mod:`repro.serve`) does so by funnelling every engine operation
+    through one executor thread.  The shared :attr:`cache` itself is
+    thread-safe (see :class:`~repro.core.dominance.DominanceCache`).
     """
 
     def __init__(
@@ -491,6 +503,154 @@ class DynamicSkylineEngine:
         return self._finish_edit(
             "update_preference", refreshed, skipped, recomputed, reused, evicted
         )
+
+    # ------------------------------------------------------------------
+    # Persistence (warm-view snapshot / restore)
+    # ------------------------------------------------------------------
+    def save_view(self, path: str | Path) -> dict:
+        """Snapshot the warm view to ``path`` as JSON and return the payload.
+
+        The snapshot carries everything :meth:`load_view` needs to resume
+        serving without the O(n) all-objects rebuild: objects, labels,
+        the preference model (via its ``to_dict`` form, so procedural
+        models round-trip through their generator parameters plus
+        explicit overrides), the engine configuration, and every view's
+        Theorem-4 factors with their exact results.  Factor members are
+        stored as object indices; probabilities round-trip bit-exactly
+        because JSON floats use Python's shortest-repr encoding.
+
+        Values must be JSON-serialisable (the same constraint as
+        :func:`repro.io.save_dataset`).
+        """
+        index_of = {obj: index for index, obj in enumerate(self._objects)}
+        payload = {
+            "format": VIEW_SNAPSHOT_FORMAT,
+            "dimensionality": self._dataset.dimensionality,
+            "objects": [list(obj) for obj in self._objects],
+            "labels": list(self._labels),
+            "label_counter": self._label_counter,
+            "edits": self._edits,
+            "max_exact_objects": self._max_exact_objects,
+            "det_kernel": self._det_kernel,
+            "preferences": self._preferences.to_dict(),
+            "views": [
+                {
+                    "factors": [
+                        {
+                            "members": [
+                                index_of[member] for member in factor.members
+                            ],
+                            "keys": [
+                                [dimension, value]
+                                for dimension, value in sorted(
+                                    factor.keys, key=repr
+                                )
+                            ],
+                            "result": {
+                                "probability": factor.result.probability,
+                                "terms_evaluated": factor.result.terms_evaluated,
+                                "objects_used": factor.result.objects_used,
+                            },
+                        }
+                        for factor in view.factors
+                    ]
+                }
+                for view in self._views
+            ],
+        }
+        Path(path).write_text(json.dumps(payload))
+        return payload
+
+    @classmethod
+    def load_view(
+        cls, path: str | Path, *, fault_injector: object = None
+    ) -> "DynamicSkylineEngine":
+        """Restore an engine from a :meth:`save_view` snapshot.
+
+        Rebuilds the dataset, the preference model and every maintained
+        view *without* re-running a single component solve — the restored
+        engine's :meth:`skyline_probabilities` are bit-identical to the
+        saved engine's (view probabilities are re-folded from the stored
+        factors in their canonical order, reproducing the same float
+        products).  The dominance cache starts cold; it re-warms on the
+        first queries/edits.  ``fault_injector`` re-arms the chaos hook,
+        which is deliberately not persisted.
+        """
+        # Local import: repro.io imports the data-model modules, so a
+        # module-level import here would be circular.
+        from repro.io import preference_model_from_dict
+
+        try:
+            raw = json.loads(Path(path).read_text())
+        except ValueError as error:
+            raise DatasetError(
+                f"{path} is not a warm-view snapshot: {error}"
+            ) from None
+        if not isinstance(raw, dict) or raw.get("format") != VIEW_SNAPSHOT_FORMAT:
+            raise DatasetError(
+                f"{path} is not a warm-view snapshot of format "
+                f"{VIEW_SNAPSHOT_FORMAT} (got "
+                f"{raw.get('format') if isinstance(raw, dict) else type(raw).__name__!r})"
+            )
+        try:
+            dimensionality = int(raw["dimensionality"])
+            objects = [as_object(values) for values in raw["objects"]]
+            labels = [str(label) for label in raw["labels"]]
+            det_kernel = raw["det_kernel"]
+            preferences = preference_model_from_dict(raw["preferences"])
+            engine = cls.__new__(cls)
+            engine._preferences = preferences
+            engine._max_exact_objects = int(raw["max_exact_objects"])
+            engine._fault_injector = fault_injector
+            if det_kernel not in DET_KERNELS:
+                raise DatasetError(
+                    f"snapshot names unknown det_kernel {det_kernel!r}; "
+                    f"expected one of {DET_KERNELS}"
+                )
+            engine._det_kernel = det_kernel
+            engine._cache = DominanceCache(preferences)
+            engine._objects = objects
+            engine._labels = labels
+            engine._label_counter = int(raw["label_counter"])
+            engine._value_counts = [{} for _ in range(dimensionality)]
+            for obj in objects:
+                engine._count_values(obj, +1)
+            engine._edits = int(raw["edits"])
+            views_payload = raw["views"]
+            if len(views_payload) != len(objects):
+                raise DatasetError(
+                    f"snapshot holds {len(views_payload)} views for "
+                    f"{len(objects)} objects"
+                )
+            views: List[TargetView] = []
+            for index, view_payload in enumerate(views_payload):
+                factors = []
+                for factor_payload in view_payload["factors"]:
+                    members = tuple(
+                        objects[int(member)]
+                        for member in factor_payload["members"]
+                    )
+                    keys = frozenset(
+                        (int(dimension), value)
+                        for dimension, value in factor_payload["keys"]
+                    )
+                    result_payload = factor_payload["result"]
+                    result = ExactResult(
+                        float(result_payload["probability"]),
+                        int(result_payload["terms_evaluated"]),
+                        int(result_payload["objects_used"]),
+                    )
+                    factors.append(PartitionFactor(members, keys, result))
+                views.append(engine._assemble_view(objects[index], factors))
+            engine._views = views
+        except DatasetError:
+            raise
+        except (KeyError, IndexError, TypeError, ValueError) as error:
+            raise DatasetError(
+                f"malformed warm-view snapshot {path}: {error}"
+            ) from None
+        engine._rebind(objects)
+        return engine
 
     # ------------------------------------------------------------------
     # Internals

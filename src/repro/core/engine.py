@@ -32,7 +32,12 @@ from dataclasses import dataclass, replace
 from typing import List, Sequence, Tuple
 
 import repro.obs as obs
-from repro.core.bounds import validate_accuracy, validate_robustness
+from repro.core.bounds import (
+    hoeffding_error,
+    hoeffding_sample_size,
+    validate_accuracy,
+    validate_robustness,
+)
 from repro.core.dominance import DominanceCache
 from repro.core.exact import (
     DEFAULT_MAX_OBJECTS,
@@ -79,6 +84,11 @@ class SkylineReport:
     its wall-clock ``deadline`` and the engine fell back to the
     ``(ε, δ)``-bounded ``Sam`` estimator; ``degradation_reason`` then
     records why (and ``method`` names the method actually used).
+    ``overrun_seconds`` records, for degraded reports, how far past the
+    deadline the answer was finally assembled — the fallback's own cost.
+    With a ``max_overrun`` ceiling armed the fallback truncates at the
+    ceiling (``samples`` then records the smaller drawn count and the
+    reason states the accuracy actually achieved).
 
     ``duplicate_target`` marks an external-object query whose target
     equals a dataset object: by the duplicate convention that object
@@ -97,6 +107,7 @@ class SkylineReport:
     degraded: bool = False
     degradation_reason: str | None = None
     duplicate_target: bool = False
+    overrun_seconds: float = 0.0
     stats: QueryStats | None = None
 
     def __post_init__(self) -> None:
@@ -175,6 +186,7 @@ class SkylineProbabilityEngine:
         cache: DominanceCache | None = None,
         deadline: float | None = None,
         on_deadline: str = "degrade",
+        max_overrun: float | None = None,
     ) -> SkylineReport:
         """``sky(target)`` by the chosen method.
 
@@ -207,6 +219,21 @@ class SkylineProbabilityEngine:
         (same bit-for-bit answer, per-term accounting); ``"vec"`` checks
         the deadline natively between its doubling levels.  ``sam``/
         ``sam+``/``naive`` have predictable cost and ignore the deadline.
+
+        ``max_overrun`` (requires a ``deadline``-style use, ignored
+        without one) caps how far *past* the expired deadline the
+        degradation fallback itself may run: the ``Sam`` estimator is
+        handed the hard wall-clock ceiling ``deadline + max_overrun`` and
+        truncates its draw loop there (at chunk granularity — see
+        :func:`~repro.core.sampling.skyline_probability_sampled`), so a
+        deadline-armed query can never take more than roughly
+        ``deadline + max_overrun`` seconds even when the fallback's full
+        Hoeffding sample budget would.  A truncated fallback's report
+        states the accuracy its drawn samples actually support, and every
+        degraded report records ``overrun_seconds``.  The default
+        ``None`` keeps the fallback's full ``(ε, δ)`` budget (the
+        pre-serving behaviour): the estimate's accuracy contract is then
+        never silently weakened, at the price of an unbounded tail.
         """
         competitors, target_values, duplicate = self._resolve_target(target)
         if method not in METHODS:
@@ -219,7 +246,7 @@ class SkylineProbabilityEngine:
                 f"expected one of {DET_KERNELS}"
             )
         validate_accuracy(epsilon, delta, samples)
-        validate_robustness(deadline=deadline)
+        validate_robustness(deadline=deadline, max_overrun=max_overrun)
         if on_deadline not in DEADLINE_POLICIES:
             raise RobustnessPolicyError(
                 f"unknown on_deadline policy {on_deadline!r}; expected one "
@@ -286,6 +313,7 @@ class SkylineProbabilityEngine:
                         competitors, target_values, method,
                         epsilon=epsilon, delta=delta, samples=samples,
                         seed=seed, cache=cache, deadline=deadline,
+                        deadline_at=deadline_at, max_overrun=max_overrun,
                         expiry=expiry,
                     )
         if collect:
@@ -326,6 +354,8 @@ class SkylineProbabilityEngine:
         seed: object,
         cache: DominanceCache | None,
         deadline: float,
+        deadline_at: float,
+        max_overrun: float | None,
         expiry: DeadlineExceededError,
     ) -> SkylineReport:
         """Answer an over-deadline exact query with ``Sam`` instead.
@@ -334,7 +364,19 @@ class SkylineProbabilityEngine:
         (Theorem 2) and, given the same ``seed``, is bit-for-bit the
         answer a direct ``method="sam"`` query would have produced — the
         exact attempt consumed no randomness before expiring.
+
+        The deadline has *already* expired when this runs, so the
+        fallback is pure overrun; ``max_overrun`` bounds it by handing
+        the sampler the hard ceiling ``deadline_at + max_overrun``.  A
+        truncated run keeps the bit-identity property for the samples it
+        drew (the stream prefix matches the untruncated run), reports
+        the drawn count, and appends the effectively achieved Hoeffding
+        ``ε`` to the reason.  ``overrun_seconds`` records the measured
+        overrun either way.
         """
+        fallback_deadline_at = (
+            None if max_overrun is None else deadline_at + max_overrun
+        )
         result = skyline_probability_sampled(
             self._preferences,
             competitors,
@@ -344,7 +386,25 @@ class SkylineProbabilityEngine:
             samples=samples,
             seed=seed,
             cache=cache,
+            deadline_at=fallback_deadline_at,
         )
+        reason = (
+            f"deadline of {deadline}s expired during exact "
+            f"method {method!r} ({expiry}); degraded to sam with "
+            f"epsilon={epsilon}, delta={delta}"
+        )
+        planned = (
+            samples
+            if samples is not None
+            else hoeffding_sample_size(epsilon, delta)
+        )
+        if result.samples < planned:
+            achieved = hoeffding_error(result.samples, delta)
+            reason += (
+                f"; max_overrun={max_overrun}s truncated the fallback at "
+                f"{result.samples} of {planned} samples "
+                f"(achieved epsilon~{achieved:.4g} at delta={delta})"
+            )
         return SkylineReport(
             result.estimate,
             "sam",
@@ -352,11 +412,8 @@ class SkylineProbabilityEngine:
             partition_results=(result,),
             samples=result.samples,
             degraded=True,
-            degradation_reason=(
-                f"deadline of {deadline}s expired during exact "
-                f"method {method!r} ({expiry}); degraded to sam with "
-                f"epsilon={epsilon}, delta={delta}"
-            ),
+            degradation_reason=reason,
+            overrun_seconds=max(0.0, time.monotonic() - deadline_at),
         )
 
     def cache_info(self) -> dict:

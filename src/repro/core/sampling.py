@@ -28,6 +28,7 @@ tight enough.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -67,7 +68,11 @@ class SamplingResult:
     """Outcome of a Monte-Carlo skyline-probability estimation.
 
     ``estimate`` is ``successes / samples`` — the fraction of sampled
-    worlds in which the target was a skyline point.  ``method`` records
+    worlds in which the target was a skyline point.  ``samples`` is the
+    number of worlds actually drawn; it equals the requested/Hoeffding
+    count unless a ``deadline_at`` wall-clock ceiling truncated the run,
+    in which case ``error_radius``/``confidence_interval`` still report
+    the (wider) bound the drawn count supports.  ``method`` records
     which sampler produced it; ``checks`` counts individual
     competitor-dominance evaluations (the lazy sampler's early exits make
     this much smaller than ``samples × n``).
@@ -176,6 +181,7 @@ def skyline_probability_sampled(
     sort_by_dominance: bool = True,
     chunk_size: int = _DEFAULT_CHUNK_SIZE,
     cache: DominanceCache | None = None,
+    deadline_at: float | None = None,
 ) -> SamplingResult:
     """Estimate ``sky(target)`` by Monte-Carlo world sampling (Algorithm 2).
 
@@ -201,6 +207,15 @@ def skyline_probability_sampled(
         Optional :class:`~repro.core.dominance.DominanceCache` shared
         across queries; only the factor preparation reads it, so the
         estimator's distribution (and seeded stream) is unchanged.
+    deadline_at:
+        Optional absolute :func:`time.monotonic` instant after which the
+        sampler stops drawing.  Truncation happens at chunk boundaries
+        only (every 256 worlds for the lazy sampler), at least one
+        chunk/world always completes, and the drawn prefix of the seeded
+        stream is bit-identical to an untruncated run's — the result
+        simply reports the smaller ``samples`` count it achieved.  This
+        is the hard overrun ceiling behind the engine's degraded Det→Sam
+        fallback (``max_overrun``).
     """
     sample_count = _resolve_sample_size(samples, epsilon, delta)
     prepared = _prepare(preferences, competitors, target, sort_by_dominance, cache)
@@ -226,11 +241,15 @@ def skyline_probability_sampled(
             method = "vectorized"
     with obs.stage("sampling"):
         if method == "lazy":
-            result = _sample_lazy(prepared, sample_count, seed)
+            result = _sample_lazy(prepared, sample_count, seed, deadline_at)
         elif method == "vectorized":
-            result = _sample_vectorized(prepared, sample_count, seed, chunk_size)
+            result = _sample_vectorized(
+                prepared, sample_count, seed, chunk_size, deadline_at
+            )
         elif method == "antithetic":
-            result = _sample_antithetic(prepared, sample_count, seed, chunk_size)
+            result = _sample_antithetic(
+                prepared, sample_count, seed, chunk_size, deadline_at
+            )
         else:
             raise EstimationError(
                 f"unknown sampling method {method!r}; expected "
@@ -259,7 +278,10 @@ def _record_sampling(result: SamplingResult) -> SamplingResult:
 
 
 def _sample_lazy(
-    prepared: _Prepared, sample_count: int, seed: object
+    prepared: _Prepared,
+    sample_count: int,
+    seed: object,
+    deadline_at: float | None = None,
 ) -> SamplingResult:
     """Faithful Algorithm 2: lazy preference resolution, early exit."""
     rng = as_rng(seed)
@@ -268,7 +290,18 @@ def _sample_lazy(
     random = rng.random
     successes = 0
     checks = 0
+    drawn = 0
     for _ in range(sample_count):
+        # The clock is consulted every 256 worlds (never before the
+        # first), so truncation costs nothing on the fast path and the
+        # drawn stream prefix matches an untruncated run exactly.
+        if (
+            deadline_at is not None
+            and drawn
+            and (drawn & 255) == 0
+            and time.monotonic() >= deadline_at
+        ):
+            break
         world: Dict[int, bool] = {}
         dominated = False
         for indices in competitor_pairs:
@@ -287,13 +320,16 @@ def _sample_lazy(
                 break
         if not dominated:
             successes += 1
-    return SamplingResult(
-        successes / sample_count, sample_count, successes, "lazy", checks
-    )
+        drawn += 1
+    return SamplingResult(successes / drawn, drawn, successes, "lazy", checks)
 
 
 def _sample_vectorized(
-    prepared: _Prepared, sample_count: int, seed: object, chunk_size: int
+    prepared: _Prepared,
+    sample_count: int,
+    seed: object,
+    chunk_size: int,
+    deadline_at: float | None = None,
 ) -> SamplingResult:
     """NumPy sampler: resolve whole chunks of worlds at once.
 
@@ -311,10 +347,16 @@ def _sample_vectorized(
     chunk_size = _effective_chunk(chunk_size, probabilities.size)
     successes = 0
     checks = 0
+    drawn = 0
     remaining = sample_count
     while remaining > 0:
+        # Truncate between chunks only (and never before the first), so
+        # the drawn stream prefix matches an untruncated run exactly.
+        if deadline_at is not None and drawn and time.monotonic() >= deadline_at:
+            break
         chunk = min(chunk_size, remaining)
         remaining -= chunk
+        drawn += chunk
         worlds = rng.random((chunk, probabilities.size)) < probabilities
         alive = np.ones(chunk, dtype=bool)  # worlds not yet dominated
         for indices in index_arrays:
@@ -325,12 +367,16 @@ def _sample_vectorized(
                 break
         successes += int(alive.sum())
     return SamplingResult(
-        successes / sample_count, sample_count, successes, "vectorized", checks
+        successes / drawn, drawn, successes, "vectorized", checks
     )
 
 
 def _sample_antithetic(
-    prepared: _Prepared, sample_count: int, seed: object, chunk_size: int
+    prepared: _Prepared,
+    sample_count: int,
+    seed: object,
+    chunk_size: int,
+    deadline_at: float | None = None,
 ) -> SamplingResult:
     """Vectorized sampler with antithetic variates.
 
@@ -365,6 +411,14 @@ def _sample_antithetic(
     checks = 0
     remaining = sample_count
     while remaining > 0:
+        # Same chunk-boundary truncation as the vectorized sampler; a
+        # chunk's mirrored half is never split from its base draws.
+        if (
+            deadline_at is not None
+            and remaining < sample_count
+            and time.monotonic() >= deadline_at
+        ):
+            break
         pairs = min(chunk_size // 2 + 1, (remaining + 1) // 2)
         draws = rng.random((pairs, probabilities.size))
         take_mirror = min(pairs, remaining - pairs)
@@ -378,8 +432,9 @@ def _sample_antithetic(
             successes += mirror_hits
             checks += mirror_checks
         remaining -= pairs + max(take_mirror, 0)
+    drawn = sample_count - remaining
     return SamplingResult(
-        successes / sample_count, sample_count, successes, "antithetic", checks
+        successes / drawn, drawn, successes, "antithetic", checks
     )
 
 

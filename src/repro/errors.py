@@ -21,6 +21,8 @@ __all__ = [
     "RobustnessPolicyError",
     "EstimationError",
     "ExperimentError",
+    "ServingError",
+    "AdmissionRejectedError",
 ]
 
 
@@ -113,3 +115,24 @@ class EstimationError(ReproError):
 
 class ExperimentError(ReproError):
     """A benchmark-harness experiment is misconfigured or unknown."""
+
+
+class ServingError(ReproError):
+    """Base class for errors of the serving tier (:mod:`repro.serve`).
+
+    Raised for request-level protocol problems — a query submitted while
+    the server is draining, a malformed route payload — as opposed to
+    computation errors, which keep their library types and map to their
+    own HTTP statuses.
+    """
+
+
+class AdmissionRejectedError(ServingError):
+    """Admission control rejected a query: the pending queue is full.
+
+    The serving tier bounds the number of queries waiting in its
+    coalescing windows (``max_pending``); one over the bound is rejected
+    *before* any engine work happens, so an overloaded server sheds load
+    in O(1) instead of queueing unboundedly.  Maps to HTTP 429 with a
+    structured error body.
+    """

@@ -1,0 +1,44 @@
+"""Async serving tier: coalesced skyline queries over a warm engine.
+
+Serving skyline probabilities interactively inverts the batch workload
+the rest of the library optimises for: requests arrive one object at a
+time, concurrently, against a single warm
+:class:`~repro.core.dynamic.DynamicSkylineEngine`.  This package adds
+the three pieces that make that safe and fast without any dependency
+beyond the standard library:
+
+- :class:`~repro.serve.coalescer.QueryCoalescer` merges concurrent
+  compatible queries arriving within a short window into one
+  :func:`~repro.core.batch.batch_skyline_probabilities` call, with
+  per-request seed spawning that keeps every coalesced answer
+  bit-identical to the answer a direct call would produce.
+- :class:`~repro.serve.server.SkylineServer` is an asyncio HTTP/JSON
+  front-end with deadline-aware degradation (the engine's existing
+  Det→Sam path), admission control, ``/metrics`` in Prometheus text
+  format, ``/healthz``, and graceful drain.
+- :class:`~repro.serve.client.ServeClient` is the matching minimal
+  asyncio client used by the tests, the chaos suite, and the
+  serving-load benchmark.
+
+Start one from the command line with ``python -m repro serve``.
+"""
+
+from repro.serve.client import ServeClient, ServeResponse
+from repro.serve.coalescer import (
+    COALESCE_OPTION_FIELDS,
+    CoalescedAnswer,
+    QueryCoalescer,
+    spawn_request_seed,
+)
+from repro.serve.server import ServeConfig, SkylineServer
+
+__all__ = [
+    "COALESCE_OPTION_FIELDS",
+    "CoalescedAnswer",
+    "QueryCoalescer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeResponse",
+    "SkylineServer",
+    "spawn_request_seed",
+]

@@ -1,0 +1,176 @@
+"""Minimal asyncio HTTP client for the serving tier.
+
+:class:`ServeClient` speaks just enough HTTP/1.1 (keep-alive, JSON
+bodies) to exercise a :class:`~repro.serve.server.SkylineServer` from
+tests, the chaos suite, and the serving-load benchmark without any
+third-party dependency.  It is deliberately not a general HTTP client:
+one connection, serial requests, structured errors decoded back into
+plain data.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ServingError
+
+__all__ = ["ServeClient", "ServeResponse"]
+
+
+class ServeResponse:
+    """One decoded response: ``status``, ``data`` (JSON) or ``text``."""
+
+    def __init__(self, status: int, content_type: str, body: bytes) -> None:
+        self.status = status
+        self.content_type = content_type
+        self.body = body
+
+    @property
+    def text(self) -> str:
+        """The body decoded as UTF-8."""
+        return self.body.decode("utf-8")
+
+    @property
+    def data(self) -> object:
+        """The body decoded as JSON."""
+        return json.loads(self.text)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the status is a 2xx."""
+        return 200 <= self.status < 300
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServeResponse(status={self.status}, body={self.body!r})"
+
+
+class ServeClient:
+    """Keep-alive JSON client for one server; use as async context manager.
+
+    One client is one connection, so requests on it are serial: a lock
+    queues concurrent ``request`` calls rather than letting two
+    coroutines interleave reads on the shared stream.  Coalescing only
+    helps requests that are in flight *simultaneously*, so open one
+    client per concurrent caller — the chaos suite opens one per
+    simulated user.  A request finding the connection closed (e.g. the
+    server restarted between calls) reconnects once before failing.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    async def __aenter__(self) -> "ServeClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        """Open (or reopen) the TCP connection."""
+        await self.close()
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+
+    async def close(self) -> None:
+        """Close the connection if open."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+            self._reader = self._writer = None
+
+    # ------------------------------------------------------------------
+    async def request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> ServeResponse:
+        """Send one request and await its response.
+
+        Retries once on a dead keep-alive connection, then surfaces the
+        failure.
+        """
+        async with self._lock:
+            if self._writer is None:
+                await self.connect()
+            try:
+                return await self._roundtrip(method, path, payload)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                await self.connect()
+                return await self._roundtrip(method, path, payload)
+
+    async def _roundtrip(
+        self, method: str, path: str, payload: Optional[dict]
+    ) -> ServeResponse:
+        assert self._reader is not None and self._writer is not None
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self._host}:{self._port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        self._writer.write(head + body)
+        await self._writer.drain()
+        status, headers = await self._read_head()
+        length = int(headers.get("content-length", "0") or "0")
+        response_body = (
+            await self._reader.readexactly(length) if length else b""
+        )
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return ServeResponse(
+            status, headers.get("content-type", ""), response_body
+        )
+
+    async def _read_head(self) -> Tuple[int, Dict[str, str]]:
+        assert self._reader is not None
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionResetError("server closed the connection")
+        parts = line.decode("latin-1").split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ServingError(f"malformed status line {line!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    # ------------------------------------------------------------------
+    async def query(self, index: int, **options: object) -> ServeResponse:
+        """``POST /query`` for one object index (plus query options)."""
+        payload: Dict[str, object] = {"index": index}
+        payload.update(options)
+        return await self.request("POST", "/query", payload)
+
+    async def edit(self, operation: str, **fields: object) -> ServeResponse:
+        """``POST /edit`` with the given operation and fields."""
+        payload: Dict[str, object] = {"operation": operation}
+        payload.update(fields)
+        return await self.request("POST", "/edit", payload)
+
+    async def healthz(self) -> ServeResponse:
+        """``GET /healthz``."""
+        return await self.request("GET", "/healthz")
+
+    async def metrics(self) -> ServeResponse:
+        """``GET /metrics`` (Prometheus text)."""
+        return await self.request("GET", "/metrics")
+
+    async def drain(self) -> ServeResponse:
+        """``POST /drain`` — ask the server to shut down gracefully."""
+        return await self.request("POST", "/drain")

@@ -1,0 +1,552 @@
+"""Asyncio HTTP/JSON front-end over a warm dynamic skyline engine.
+
+:class:`SkylineServer` binds a plain-stdlib ``asyncio`` HTTP/1.1 server
+(no web framework — the container ships none) in front of one
+:class:`~repro.core.dynamic.DynamicSkylineEngine`.  Queries flow through
+the :class:`~repro.serve.coalescer.QueryCoalescer`, edits through the
+same single-thread executor, so the engine only ever sees a serial
+history while the event loop keeps accepting connections.
+
+Routes
+------
+``POST /query``
+    ``{"index": i, "seed": s?, ...options}`` → the coalesced skyline
+    probability report.  Options are the coalescer's
+    :data:`~repro.serve.coalescer.COALESCE_OPTION_FIELDS`; deadlines use
+    the engine's existing Det→Sam degradation (``on_deadline`` /
+    ``max_overrun`` semantics apply unchanged).
+``POST /edit``
+    ``{"operation": "insert_object" | "remove_object" |
+    "update_preference", ...}`` → the engine's
+    :class:`~repro.core.dynamic.EditReport`.
+``GET /healthz``
+    ``200 {"status": "ok"}`` while serving, ``503`` once draining.
+``GET /metrics``
+    Prometheus text exposition of the :mod:`repro.obs` registry.
+``POST /drain``
+    ``202`` then graceful shutdown: stop accepting, flush every
+    coalescing window, finish in-flight work, release the executor.
+
+Failure semantics (each with a structured JSON body
+``{"error": {"type": ..., "message": ...}}``):
+admission rejection → 429, deadline raise → 504, duplicate insert → 409,
+draining → 503, any other :class:`~repro.errors.ReproError` (bad option,
+stale index, malformed payload) → 400, unknown route → 404, oversized
+body → 413.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import repro.obs as obs
+from repro.core.dynamic import DynamicSkylineEngine, EditReport
+from repro.errors import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    DuplicateObjectError,
+    ReproError,
+    ServingError,
+)
+from repro.serve.coalescer import CoalescedAnswer, QueryCoalescer
+
+__all__ = ["ServeConfig", "SkylineServer"]
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_PROMETHEUS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+_JSON_TYPE = "application/json; charset=utf-8"
+
+_EDIT_OPERATIONS = ("insert_object", "remove_object", "update_preference")
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one :class:`SkylineServer`.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`SkylineServer.port` after :meth:`SkylineServer.start`).
+    ``default_query`` supplies query options merged under each request's
+    own payload — the CLI uses it to arm a server-wide deadline policy.
+    ``observe=False`` keeps the global :mod:`repro.obs` registry
+    untouched (tests and experiments measure through ``trace`` instead);
+    with ``observe=True`` the server enables it on start and, if it was
+    the one to enable it, disables it again after drain.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    window: float = 0.002
+    max_batch: int = 64
+    max_pending: int = 256
+    drain_timeout: float = 30.0
+    max_body_bytes: int = 1 << 20
+    default_query: Dict[str, object] = field(default_factory=dict)
+    observe: bool = True
+
+
+class SkylineServer:
+    """Serve one warm dynamic engine over HTTP with request coalescing.
+
+    ``trace`` (optional list) receives every executed batch and edit in
+    engine-execution order; the chaos suite replays it single-threaded
+    to prove bit-identity.  Life cycle: :meth:`start` → requests →
+    :meth:`drain` (or ``POST /drain``); :meth:`serve_forever` awaits the
+    drain from, e.g., a signal handler.
+    """
+
+    def __init__(
+        self,
+        engine: DynamicSkylineEngine,
+        config: Optional[ServeConfig] = None,
+        *,
+        trace: Optional[list] = None,
+    ) -> None:
+        self._engine = engine
+        self._config = config or ServeConfig()
+        self._trace = trace
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-engine"
+        )
+        self._coalescer = QueryCoalescer(
+            engine,
+            window=self._config.window,
+            max_batch=self._config.max_batch,
+            max_pending=self._config.max_pending,
+            executor=self._executor,
+            trace=trace,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._enabled_obs = False
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> DynamicSkylineEngine:
+        """The warm engine being served."""
+        return self._engine
+
+    @property
+    def coalescer(self) -> QueryCoalescer:
+        """The request coalescer (exposed for tests and metrics)."""
+        return self._coalescer
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            raise ServingError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound."""
+        return (self._config.host, self.port)
+
+    @property
+    def draining(self) -> bool:
+        """Whether graceful shutdown has begun."""
+        return self._draining
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket and begin accepting connections."""
+        if self._server is not None:
+            raise ServingError("server is already started")
+        if self._config.observe and not obs.is_enabled():
+            obs.enable()
+            self._enabled_obs = True
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._config.host, self._config.port
+        )
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new work, finish in-flight work.
+
+        Closes the listener, flushes every open coalescing window,
+        awaits running batches and edits (bounded by
+        ``drain_timeout``), and releases the engine executor.
+        Idempotent; :meth:`serve_forever` returns once this completes.
+        """
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(
+                self._coalescer.drain(), timeout=self._config.drain_timeout
+            )
+        except asyncio.TimeoutError:
+            pass
+        # Idle keep-alive connections would otherwise linger until their
+        # handler tasks are cancelled at loop teardown (noisily).
+        for writer in list(self._connections):
+            writer.close()
+        self._executor.shutdown(wait=True)
+        if self._enabled_obs:
+            obs.disable()
+        self._drained.set()
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and block until the server has drained."""
+        if self._server is None:
+            await self.start()
+        await self._drained.wait()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body, oversized = request
+                if oversized:
+                    await self._respond_error(
+                        writer,
+                        path,
+                        413,
+                        ServingError(
+                            f"request body exceeds "
+                            f"{self._config.max_body_bytes} bytes"
+                        ),
+                        close=True,
+                    )
+                    break
+                close = headers.get("connection", "").lower() == "close"
+                await self._dispatch(writer, method, path, body, close)
+                if close:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes, bool]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, path, _ = line.decode("latin-1").strip().split(" ", 2)
+        except ValueError:
+            raise ServingError(f"malformed request line {line!r}") from None
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > self._config.max_body_bytes:
+            # Do not read the oversized body; the 413 closes the socket.
+            return method, path, headers, b"", True
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body, False
+
+    async def _dispatch(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        body: bytes,
+        close: bool,
+    ) -> None:
+        routes: Dict[Tuple[str, str], Callable] = {
+            ("POST", "/query"): self._route_query,
+            ("POST", "/edit"): self._route_edit,
+            ("POST", "/drain"): self._route_drain,
+            ("GET", "/healthz"): self._route_healthz,
+            ("GET", "/metrics"): self._route_metrics,
+        }
+        endpoint = path if any(path == p for _, p in routes) else "unknown"
+        started = time.monotonic()
+        handler = routes.get((method, path))
+        try:
+            if handler is None:
+                known_paths = {p for _, p in routes}
+                if path in known_paths:
+                    raise ServingError(
+                        f"method {method} not allowed for {path}"
+                    )
+                raise ServingError(f"unknown route {method} {path}")
+            status, payload, content_type = await handler(body)
+            await self._respond(
+                writer, status, payload, content_type, close=close
+            )
+            outcome = "ok"
+        except Exception as error:  # noqa: BLE001 — mapped to a status below
+            status = self._status_for(error, path, method)
+            await self._respond_error(writer, path, status, error, close=close)
+            outcome = "rejected" if status == 429 else "error"
+        self._record_request(endpoint, outcome, time.monotonic() - started)
+
+    def _status_for(self, error: Exception, path: str, method: str) -> int:
+        if isinstance(error, AdmissionRejectedError):
+            return 429
+        if isinstance(error, DeadlineExceededError):
+            return 504
+        if isinstance(error, DuplicateObjectError):
+            return 409
+        if isinstance(error, ServingError):
+            if "unknown route" in str(error):
+                return 404
+            if "not allowed" in str(error):
+                return 405
+            return 503 if self._draining else 400
+        if isinstance(error, ReproError):
+            return 400
+        return 500
+
+    # ------------------------------------------------------------------
+    async def _route_query(self, body: bytes):
+        if self._draining:
+            raise ServingError("serving tier is draining; query refused")
+        payload = self._parse_json(body)
+        if "index" not in payload:
+            raise ServingError('query payload must name an "index"')
+        index = payload.pop("index")
+        seed = payload.pop("seed", None)
+        options = dict(self._config.default_query)
+        options.update(payload)
+        answer: CoalescedAnswer = await self._coalescer.submit(
+            index, seed=seed, **options
+        )
+        report = answer.report
+        return (
+            200,
+            {
+                "target": index,
+                "probability": report.probability,
+                "method": report.method,
+                "exact": report.exact,
+                "degraded": report.degraded,
+                "degradation_reason": report.degradation_reason,
+                "samples": report.samples,
+                "overrun_seconds": report.overrun_seconds,
+                "batch_size": answer.batch_size,
+                "coalesced": answer.coalesced,
+            },
+            _JSON_TYPE,
+        )
+
+    async def _route_edit(self, body: bytes):
+        if self._draining:
+            raise ServingError("serving tier is draining; edit refused")
+        payload = self._parse_json(body)
+        operation = payload.get("operation")
+        if operation not in _EDIT_OPERATIONS:
+            raise ServingError(
+                f"edit operation must be one of {list(_EDIT_OPERATIONS)}, "
+                f"got {operation!r}"
+            )
+        loop = asyncio.get_running_loop()
+        report: EditReport = await loop.run_in_executor(
+            self._executor, self._run_edit, operation, payload
+        )
+        self._record_edit(operation)
+        return (
+            200,
+            {
+                "operation": report.operation,
+                "targets_refreshed": report.targets_refreshed,
+                "targets_skipped": report.targets_skipped,
+                "partitions_recomputed": report.partitions_recomputed,
+                "partitions_reused": report.partitions_reused,
+                "cache_evictions": report.cache_evictions,
+                "objects": self._engine.cardinality,
+            },
+            _JSON_TYPE,
+        )
+
+    def _run_edit(self, operation: str, payload: Dict[str, object]) -> EditReport:
+        """Apply one edit on the engine thread (serialised with batches)."""
+        engine = self._engine
+        if operation == "insert_object":
+            values = payload.get("values")
+            if not isinstance(values, list):
+                raise ServingError(
+                    'insert_object needs "values": a list of one value '
+                    "per dimension"
+                )
+            report = engine.insert_object(
+                [tuple(v) if isinstance(v, list) else v for v in values],
+                label=payload.get("label"),
+            )
+            args: Dict[str, object] = {
+                "values": values,
+                "label": payload.get("label"),
+            }
+        elif operation == "remove_object":
+            if "target" not in payload:
+                raise ServingError(
+                    'remove_object needs "target": an index or a value list'
+                )
+            target = payload["target"]
+            if isinstance(target, list):
+                target = [tuple(v) if isinstance(v, list) else v for v in target]
+            report = engine.remove_object(target)
+            args = {"target": payload["target"]}
+        else:
+            try:
+                dimension = payload["dimension"]
+                a, b = payload["a"], payload["b"]
+                prob_a_over_b = payload["prob_a_over_b"]
+            except KeyError as missing:
+                raise ServingError(
+                    f"update_preference needs {missing.args[0]!r}"
+                ) from None
+            report = engine.update_preference(
+                dimension, a, b, prob_a_over_b, payload.get("prob_b_over_a")
+            )
+            args = {
+                "dimension": dimension,
+                "a": a,
+                "b": b,
+                "prob_a_over_b": prob_a_over_b,
+                "prob_b_over_a": payload.get("prob_b_over_a"),
+            }
+        if self._trace is not None:
+            self._trace.append(
+                {"kind": "edit", "operation": operation, "args": args}
+            )
+        return report
+
+    async def _route_drain(self, body: bytes):
+        # Respond first, then shut down: the 202 must reach the client
+        # before the listener closes.
+        asyncio.get_running_loop().create_task(self.drain())
+        return (202, {"status": "draining"}, _JSON_TYPE)
+
+    async def _route_healthz(self, body: bytes):
+        if self._draining:
+            raise ServingError("serving tier is draining")
+        return (
+            200,
+            {
+                "status": "ok",
+                "objects": self._engine.cardinality,
+                "pending": self._coalescer.pending,
+            },
+            _JSON_TYPE,
+        )
+
+    async def _route_metrics(self, body: bytes):
+        return (200, obs.registry().to_prometheus(), _PROMETHEUS_TYPE)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_json(body: bytes) -> Dict[str, object]:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ServingError(f"request body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise ServingError(
+                f"request body must be a JSON object, got {type(payload).__name__}"
+            )
+        return payload
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: object,
+        content_type: str,
+        *,
+        close: bool,
+    ) -> None:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = json.dumps(payload).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        connection = "close" if close else "keep-alive"
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _respond_error(
+        self,
+        writer: asyncio.StreamWriter,
+        path: str,
+        status: int,
+        error: Exception,
+        *,
+        close: bool,
+    ) -> None:
+        payload = {
+            "error": {"type": type(error).__name__, "message": str(error)}
+        }
+        try:
+            await self._respond(
+                writer, status, payload, _JSON_TYPE, close=close
+            )
+        except ConnectionError:
+            pass
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record_request(endpoint: str, outcome: str, seconds: float) -> None:
+        if not obs.is_enabled():
+            return
+        registry = obs.registry()
+        registry.counter(
+            "repro_serve_requests_total",
+            "HTTP requests handled by the serving tier.",
+        ).inc(endpoint=endpoint, outcome=outcome)
+        registry.histogram(
+            "repro_serve_request_seconds",
+            "End-to-end request latency of the serving tier.",
+        ).observe(seconds, endpoint=endpoint)
+
+    @staticmethod
+    def _record_edit(operation: str) -> None:
+        if not obs.is_enabled():
+            return
+        obs.registry().counter(
+            "repro_serve_edits_total",
+            "Engine edits applied through the serving tier.",
+        ).inc(operation=operation)

@@ -376,3 +376,89 @@ class TestSpawnedStreamStatistics:
                 # null s.d. ~ 1/sqrt(40) = 0.16; 0.45 is a ~3 sigma gate
                 # (deterministic: the seeds above are fixed)
                 assert abs(r) < 0.45
+
+
+class TestEffectiveCores:
+    """Satellite bugfix: core detection must survive containers.
+
+    ``os.sched_getaffinity`` raises :class:`OSError` (not just
+    ``AttributeError``) on container/cgroup setups that deny the
+    affinity syscall; the old code let that escape and killed the whole
+    batch before any work ran.  Both failure modes now fall back to
+    ``os.cpu_count()``.
+    """
+
+    def test_oserror_falls_back_to_cpu_count(self, monkeypatch):
+        import os
+
+        import repro.core.batch as batch_module
+
+        def denied(pid):
+            raise OSError("sched_getaffinity denied by seccomp")
+
+        monkeypatch.setattr(os, "sched_getaffinity", denied, raising=False)
+        assert batch_module._effective_cores() == (os.cpu_count() or 1)
+
+    def test_missing_affinity_falls_back_to_cpu_count(self, monkeypatch):
+        import os
+
+        import repro.core.batch as batch_module
+
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        assert batch_module._effective_cores() == (os.cpu_count() or 1)
+
+    def test_batch_still_runs_when_affinity_is_denied(self, monkeypatch):
+        import os
+
+        def denied(pid):
+            raise OSError("sched_getaffinity denied by seccomp")
+
+        monkeypatch.setattr(os, "sched_getaffinity", denied, raising=False)
+        serial = _serial_loop(_engine("zipf"), "det+")
+        result = batch_skyline_probabilities(
+            _engine("zipf"), method="det+", workers=2, executor="thread"
+        )
+        assert list(result.probabilities) == serial
+
+
+class TestExplicitSeeds:
+    """The ``seeds=`` override gives each object its own stream.
+
+    The serving tier's coalescer uses it to keep a coalesced answer
+    bit-identical to the answer a direct single-object batch would have
+    produced: it passes ``SeedSequence(request_seed).spawn(1)[0]`` per
+    request instead of letting the planner spawn streams by batch
+    position.
+    """
+
+    def test_explicit_seeds_reproduce_single_object_batches(self):
+        import numpy as np
+
+        engine = _engine("zipf")
+        request_seeds = [101, 202, 303]
+        indices = [0, 3, 5]
+        direct = [
+            batch_skyline_probabilities(
+                engine, indices=[index], seed=seed, method="sam",
+                samples=120, workers=1,
+            ).probabilities[0]
+            for index, seed in zip(indices, request_seeds)
+        ]
+        merged = batch_skyline_probabilities(
+            engine,
+            indices=indices,
+            seeds=[
+                np.random.SeedSequence(seed).spawn(1)[0]
+                for seed in request_seeds
+            ],
+            method="sam", samples=120, workers=1,
+        )
+        assert list(merged.probabilities) == direct
+
+    def test_wrong_seed_count_is_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            batch_skyline_probabilities(
+                _engine("zipf"), indices=[0, 1], seeds=[1], workers=1
+            )

@@ -230,3 +230,114 @@ class TestBatchDegradation:
             method="sam", samples=60, seed=29
         )
         assert probabilities == direct
+
+
+class TestOverrunBudget:
+    """Satellite bugfix: the degraded fallback honours the expired budget.
+
+    Before the fix, a query whose deadline expired got a Sam fallback
+    that ran to its *full* ``(ε, δ)`` sample budget — the overrun was
+    unbounded.  ``max_overrun`` caps it: the fallback truncates at a
+    chunk boundary once ``deadline + max_overrun`` has passed, the
+    report says so (with the accuracy actually achieved), and
+    ``overrun_seconds`` records how far past the deadline it went.
+    """
+
+    REQUESTED = 400_000
+
+    def test_default_none_keeps_the_full_fallback_budget(self):
+        # Backwards compatibility: without a cap the fallback still
+        # delivers every sample the accuracy contract asks for.
+        report = _engine().skyline_probability(
+            0, method="det", deadline=EXPIRED, samples=150, seed=7
+        )
+        assert report.samples == 150
+        assert "truncated" not in report.degradation_reason
+        assert report.overrun_seconds > 0.0
+
+    def test_expired_budget_truncates_the_fallback(self):
+        import time
+
+        start = time.monotonic()
+        report = _engine("zipf").skyline_probability(
+            0, method="det", deadline=EXPIRED, max_overrun=0.0,
+            samples=self.REQUESTED, seed=13,
+        )
+        elapsed = time.monotonic() - start
+        assert report.degraded is True
+        assert report.method == "sam"
+        # The ceiling had already passed when the fallback started, so it
+        # stops at its first chunk boundary instead of drawing 400k worlds.
+        assert 0 < report.samples < self.REQUESTED
+        assert "max_overrun" in report.degradation_reason
+        assert "truncated" in report.degradation_reason
+        assert "epsilon~" in report.degradation_reason
+        assert report.overrun_seconds > 0.0
+        assert elapsed < 5.0
+
+    def test_truncated_fallback_is_deterministic(self):
+        # Truncation happens at chunk boundaries, so the estimate is a
+        # prefix of the seeded stream — identical on every run, never a
+        # race against the clock mid-chunk.
+        first = _engine("zipf").skyline_probability(
+            0, method="det", deadline=EXPIRED, max_overrun=0.0,
+            samples=self.REQUESTED, seed=13,
+        )
+        second = _engine("zipf").skyline_probability(
+            0, method="det", deadline=EXPIRED, max_overrun=0.0,
+            samples=self.REQUESTED, seed=13,
+        )
+        assert first.probability == second.probability
+        assert first.samples == second.samples
+
+    def test_slow_kernel_stays_within_the_ceiling(self):
+        # Fault injection: a preference model that answers slowly stands
+        # in for a slow exact kernel, so the deadline genuinely expires
+        # mid-run (not just at the entry check; the space is big enough
+        # — 2047 inclusion-exclusion terms — to reach the kernel's
+        # periodic check) and the capped fallback must still truncate
+        # instead of drawing its full budget.
+        import time
+
+        dataset = block_zipf_dataset(12, 3, seed=60)
+        preferences = HashedPreferenceModel(3, seed=61)
+        quick = preferences.prob_prefers
+
+        def sleepy(dimension, a, b):
+            time.sleep(0.002)
+            return quick(dimension, a, b)
+
+        preferences.prob_prefers = sleepy
+        engine = SkylineProbabilityEngine(dataset, preferences)
+        report = engine.skyline_probability(
+            0, method="det", deadline=0.01, max_overrun=0.05,
+            samples=self.REQUESTED, seed=5,
+        )
+        assert report.degraded is True
+        assert report.samples < self.REQUESTED
+        assert report.overrun_seconds > 0.0
+
+    def test_batch_threads_max_overrun_through(self):
+        capped = batch_skyline_probabilities(
+            _engine("zipf"), indices=[0, 1], method="det+",
+            deadline=EXPIRED, max_overrun=0.0,
+            samples=self.REQUESTED, seed=23, workers=1,
+        )
+        assert all(r.degraded for r in capped.reports)
+        assert all(r.samples < self.REQUESTED for r in capped.reports)
+
+    @pytest.mark.parametrize("max_overrun", [-0.5, float("nan"), "soon", [1]])
+    def test_bad_max_overrun(self, max_overrun):
+        with pytest.raises(RobustnessPolicyError):
+            _engine().skyline_probability(
+                0, method="det", deadline=EXPIRED, max_overrun=max_overrun
+            )
+
+    def test_max_overrun_without_deadline_is_validated_not_used(self):
+        # No deadline means nothing can expire; the option is still
+        # validated at the boundary like every robustness policy.
+        report = _engine().skyline_probability(
+            0, method="det", max_overrun=0.5
+        )
+        assert report.degraded is False
+        assert report.overrun_seconds == 0.0

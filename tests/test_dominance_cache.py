@@ -153,3 +153,101 @@ class TestFactorSource:
         foreign = DominanceCache(HashedPreferenceModel(2, seed=8))
         with pytest.raises(PreferenceError, match="different"):
             factor_source(preferences, foreign)
+
+
+class TestThreadSafety:
+    """Satellite bugfix: the cache keeps exact accounting under threads.
+
+    The serving tier shares one cache between the engine thread and any
+    caller that inspects counters concurrently; before the lock was
+    added, racing ``dict.get``/``+= 1`` pairs could lose increments and
+    even duplicate factor computations.  The contract now is strict:
+    ``hits + misses`` equals the number of lookups made, no matter the
+    interleaving.
+    """
+
+    WORKERS = 8
+    ROUNDS = 40
+
+    def test_threaded_stress_accounting_is_exact(self, space):
+        import threading
+
+        dataset, preferences = space
+        cache = DominanceCache(preferences)
+        pairs = [
+            (tuple(q), tuple(o)) for q in dataset for o in dataset if q != o
+        ]
+        expected = {
+            pair: tuple(dominance_factors(preferences, *pair))
+            for pair in pairs
+        }
+        barrier = threading.Barrier(self.WORKERS)
+        failures: list = []
+
+        def worker() -> None:
+            barrier.wait()
+            try:
+                for _ in range(self.ROUNDS):
+                    for pair in pairs:
+                        assert cache.dominance_factors(*pair) == expected[pair]
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.WORKERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+        # Factor lookups made by the workers, plus the nested
+        # prob_prefers lookups each one-time factor miss performs while
+        # holding the lock.  Both are exact — the lock makes each factor
+        # computation atomic, so every pair misses exactly once.
+        factor_lookups = self.WORKERS * self.ROUNDS * len(pairs)
+        nested_lookups = sum(len(expected[pair]) for pair in pairs)
+        assert cache.hits + cache.misses == factor_lookups + nested_lookups
+        assert cache.entries > 0
+
+    def test_threaded_clear_never_corrupts_counters(self, space):
+        import threading
+
+        dataset, preferences = space
+        cache = DominanceCache(preferences)
+        pairs = [
+            (tuple(q), tuple(o)) for q in dataset for o in dataset if q != o
+        ]
+        stop = threading.Event()
+        failures: list = []
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    for pair in pairs:
+                        cache.dominance_factors(*pair)
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        def clearer() -> None:
+            try:
+                for _ in range(200):
+                    cache.clear()
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        wiper = threading.Thread(target=clearer)
+        for thread in readers:
+            thread.start()
+        wiper.start()
+        wiper.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert failures == []
+        # Counters survive clears and stay internally consistent.
+        assert cache.hits >= 0 and cache.misses >= 0
+        assert cache.dominance_factors(*pairs[0]) == tuple(
+            dominance_factors(preferences, *pairs[0])
+        )

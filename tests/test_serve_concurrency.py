@@ -1,0 +1,219 @@
+"""Chaos suite: concurrent served traffic replays bit-identically.
+
+Satellite of the serving tentpole: N asyncio clients hammer one served
+engine over real HTTP while one of them interleaves ``insert_object`` /
+``remove_object`` / ``update_preference`` edits.  The server records
+every engine operation (batches and edits) in its trace, in the order
+its single engine thread executed them.  The test then rebuilds a fresh
+engine and replays that trace **single-threaded**, asserting that every
+batch reproduces the recorded probabilities float-for-float — and that
+the probabilities the clients actually received are exactly the traced
+ones.  Concurrency, coalescing, and scheduling may change the *order*
+of operations, but never any answer given that order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter
+
+import pytest
+
+from repro import Dataset, DynamicSkylineEngine, PreferenceModel
+from repro.core.batch import batch_skyline_probabilities
+from repro.serve import (
+    ServeClient,
+    ServeConfig,
+    SkylineServer,
+    spawn_request_seed,
+)
+
+pytestmark = pytest.mark.chaos
+
+WORKERS = 5
+OPS = 8
+#: Only the six seed objects are queried, so interleaved edits of the
+#: seventh ("w", "w") never invalidate a request index mid-flight.
+INDICES = (0, 1, 2, 3, 4, 5)
+
+
+def _engine() -> DynamicSkylineEngine:
+    objects = [
+        ("a", "x"),
+        ("a", "y"),
+        ("b", "x"),
+        ("b", "z"),
+        ("c", "y"),
+        ("c", "z"),
+    ]
+    preferences = PreferenceModel(2, default=0.5)
+    preferences.set_preference(0, "a", "b", 0.7, 0.2)
+    preferences.set_preference(0, "a", "c", 0.6, 0.3)
+    preferences.set_preference(0, "b", "c", 0.4, 0.4)
+    preferences.set_preference(1, "x", "y", 0.55, 0.35)
+    preferences.set_preference(1, "x", "z", 0.8, 0.1)
+    preferences.set_preference(1, "y", "z", 0.3, 0.6)
+    return DynamicSkylineEngine(Dataset(objects), preferences)
+
+
+async def _edit_op(client: ServeClient, op: int):
+    """Worker 0's edit schedule: insert → reweight → remove → restore."""
+    if op == 1:
+        return await client.edit("insert_object", values=["w", "w"])
+    if op == 3:
+        return await client.edit(
+            "update_preference",
+            dimension=0, a="a", b="b",
+            prob_a_over_b=0.65, prob_b_over_a=0.25,
+        )
+    if op == 5:
+        return await client.edit("remove_object", target=["w", "w"])
+    return await client.edit(
+        "update_preference",
+        dimension=0, a="a", b="b",
+        prob_a_over_b=0.7, prob_b_over_a=0.2,
+    )
+
+
+async def _worker(worker_id: int, port: int):
+    collected = []
+    async with ServeClient("127.0.0.1", port) as client:
+        for op in range(OPS):
+            token = worker_id * 100 + op
+            if worker_id == 0 and op % 2 == 1:
+                response = await _edit_op(client, op)
+                assert response.status == 200, response.text
+                continue
+            method = "auto" if token % 2 == 0 else "sam"
+            options = {"method": method}
+            if method == "sam":
+                options["samples"] = 150
+            response = await client.query(
+                INDICES[token % len(INDICES)], seed=token, **options
+            )
+            assert response.status == 200, response.text
+            collected.append(
+                (
+                    response.data["target"],
+                    token,
+                    response.data["probability"],
+                )
+            )
+    return collected
+
+
+def _replay(trace: list) -> list:
+    """Apply the trace to a fresh engine, checking every recorded batch."""
+    engine = _engine()
+    checked = []
+    for entry in trace:
+        if entry["kind"] == "edit":
+            arguments = entry["args"]
+            if entry["operation"] == "insert_object":
+                engine.insert_object(
+                    arguments["values"], label=arguments.get("label")
+                )
+            elif entry["operation"] == "remove_object":
+                target = arguments["target"]
+                engine.remove_object(
+                    target if isinstance(target, int) else list(target)
+                )
+            else:
+                engine.update_preference(
+                    arguments["dimension"],
+                    arguments["a"],
+                    arguments["b"],
+                    arguments["prob_a_over_b"],
+                    arguments["prob_b_over_a"],
+                )
+            continue
+        result = batch_skyline_probabilities(
+            engine,
+            indices=entry["indices"],
+            seeds=[spawn_request_seed(seed) for seed in entry["seeds"]],
+            workers=1,
+            cache=engine.cache,
+            on_error="raise",
+            **entry["options"],
+        )
+        assert list(result.probabilities) == entry["probabilities"], (
+            "single-threaded replay diverged from the served batch"
+        )
+        checked.extend(
+            zip(entry["indices"], entry["seeds"], entry["probabilities"])
+        )
+    return checked
+
+
+def test_chaos_traffic_replays_bit_identically():
+    trace: list = []
+
+    async def storm():
+        server = SkylineServer(
+            _engine(),
+            ServeConfig(port=0, window=0.02, observe=False),
+            trace=trace,
+        )
+        await server.start()
+        try:
+            return await asyncio.gather(
+                *(
+                    _worker(worker_id, server.port)
+                    for worker_id in range(WORKERS)
+                )
+            )
+        finally:
+            await server.drain()
+
+    per_worker = asyncio.run(storm())
+
+    # The trace holds worker 0's four edits plus every query batch.
+    edits = [entry for entry in trace if entry["kind"] == "edit"]
+    assert [entry["operation"] for entry in edits] == [
+        "insert_object",
+        "update_preference",
+        "remove_object",
+        "update_preference",
+    ]
+
+    # Single-threaded replay of the recorded execution order reproduces
+    # every batch's probabilities bit-for-bit...
+    checked = _replay(trace)
+
+    # ...and the clients saw exactly the traced answers: same requests,
+    # same floats, nothing dropped or invented.
+    client_answers = Counter(
+        answer for answers in per_worker for answer in answers
+    )
+    traced_answers = Counter(checked)
+    assert client_answers == traced_answers
+    assert sum(client_answers.values()) == WORKERS * OPS - len(edits)
+
+
+def test_chaos_replay_is_seed_stable_across_runs():
+    # Two storms with the same request seeds may interleave differently,
+    # but any request answered in a state with the same object set must
+    # report the same probability — pin a sam query that runs before any
+    # edit can land by issuing it alone, then run the storm.
+    engine = _engine()
+    direct = batch_skyline_probabilities(
+        engine, indices=[2], seed=707, method="sam", samples=150,
+        workers=1,
+    ).probabilities[0]
+
+    async def serve_one():
+        server = SkylineServer(
+            _engine(), ServeConfig(port=0, window=0.005, observe=False)
+        )
+        await server.start()
+        try:
+            async with ServeClient("127.0.0.1", server.port) as client:
+                response = await client.query(
+                    2, seed=707, method="sam", samples=150
+                )
+                assert response.status == 200
+                return response.data["probability"]
+        finally:
+            await server.drain()
+
+    assert asyncio.run(serve_one()) == direct
