@@ -1,0 +1,110 @@
+"""Benchmark: happy-path cost of the supervised shard coordinator.
+
+The supervision layer (heartbeat tracking, liveness reaping, hedging
+bookkeeping, per-shard checkpoint appends) must be effectively free when
+nothing fails: the acceptance bar is **under 5% overhead** against the
+batch planner running on the same number of worker processes — the
+honest baseline, since both paths pay the process-pool cost and the
+comparison must isolate supervision alone.
+``results/distrib_overhead.{json,md}`` records the measured ratios
+(``python -m repro.bench distrib_overhead``).
+
+Every row asserts bit-identical probabilities against the process-pool
+batch: supervision must never change an answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import batch_skyline_probabilities
+from repro.core.engine import SkylineProbabilityEngine
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.procedural import HashedPreferenceModel
+from repro.distrib import DistribConfig, ShardCoordinator
+from repro.robustness import FaultInjector
+
+WORKERS = 2
+
+
+def make_workload(n=60, d=4, *, seed=5, preference_seed=6):
+    """The Fig. 9/13 block-zipf shape at a benchmark-friendly scale."""
+    dataset = block_zipf_dataset(n, d, seed=seed)
+    preferences = HashedPreferenceModel(d, seed=preference_seed)
+    return dataset, preferences
+
+
+def process_batch(dataset, preferences):
+    """The baseline: the batch planner on WORKERS processes.
+
+    The chunk size matches the coordinator's default shard cap
+    (``ceil(n / 8)``) so both sides pay the same cold-cache cost and
+    the ratio isolates the supervision layer itself.
+    """
+    engine = SkylineProbabilityEngine(dataset, preferences)
+    result = batch_skyline_probabilities(
+        engine,
+        method="det+",
+        workers=WORKERS,
+        chunk_size=max(1, -(-len(dataset) // 8)),
+        executor="process",
+    )
+    assert result.failures == ()
+    return list(result.probabilities)
+
+
+def supervised_batch(dataset, preferences, *, config=None, **run_options):
+    """The shard coordinator with its default supervision policy."""
+    engine = SkylineProbabilityEngine(dataset, preferences)
+    coordinator = ShardCoordinator(engine, config or DistribConfig(workers=WORKERS))
+    result = coordinator.run(method="det+", **run_options)
+    assert result.batch.failures == ()
+    return list(result.batch.probabilities)
+
+
+def test_process_batch_baseline(benchmark):
+    dataset, preferences = make_workload()
+    answers = benchmark.pedantic(
+        process_batch, args=(dataset, preferences), rounds=3, iterations=1
+    )
+    assert len(answers) == len(dataset)
+
+
+@pytest.mark.parametrize(
+    "run_options",
+    [
+        {},
+        {"fault_injector": FaultInjector(seed=0)},
+    ],
+    ids=["defaults", "idle-injector"],
+)
+def test_supervised_batch(benchmark, run_options):
+    dataset, preferences = make_workload()
+    answers = benchmark.pedantic(
+        supervised_batch,
+        args=(dataset, preferences),
+        kwargs=run_options,
+        rounds=3,
+        iterations=1,
+    )
+    # supervision must never change the answers
+    assert answers == process_batch(dataset, preferences)
+
+
+def test_supervised_batch_checkpoint(benchmark, tmp_path):
+    dataset, preferences = make_workload()
+    # resume=False: every round must recompute all shards rather than
+    # resuming from the previous round's checkpoint
+    config = DistribConfig(
+        workers=WORKERS,
+        checkpoint=str(tmp_path / "bench.ckpt"),
+        resume=False,
+    )
+    answers = benchmark.pedantic(
+        supervised_batch,
+        args=(dataset, preferences),
+        kwargs={"config": config},
+        rounds=3,
+        iterations=1,
+    )
+    assert answers == process_batch(dataset, preferences)

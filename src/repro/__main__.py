@@ -12,6 +12,8 @@ Usage::
     python -m repro dynamic --dataset d.json --preferences p.json \
                             --edits edits.json --verify
     python -m repro serve   --dataset d.json --preferences p.json --port 8642
+    python -m repro distrib --dataset d.json --preferences p.json \
+                            --workers 4 --checkpoint run.ckpt
 
 Datasets and preference models load from the JSON formats written by
 :mod:`repro.io` (``.csv`` inputs are also accepted: objects one-per-row,
@@ -406,6 +408,69 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_distrib(arguments: argparse.Namespace) -> int:
+    from repro.distrib import DistribConfig, ShardCoordinator
+
+    dataset, preferences = _load_inputs(arguments)
+    engine = SkylineProbabilityEngine(dataset, preferences)
+    config = DistribConfig(
+        workers=arguments.workers,
+        max_shard_objects=arguments.max_shard_objects,
+        stall_timeout=arguments.stall_timeout,
+        hedge_multiplier=None if arguments.no_hedge else arguments.hedge_multiplier,
+        max_shard_retries=arguments.max_shard_retries,
+        on_error=arguments.on_error,
+        checkpoint=arguments.checkpoint,
+        resume=not arguments.no_resume,
+        run_timeout=arguments.run_timeout,
+    )
+    coordinator = ShardCoordinator(engine, config)
+    result = coordinator.run(**_query_options(arguments))
+    batch = result.batch
+    supervision = result.supervision
+    payload = {
+        "objects": dataset.cardinality,
+        "workers": result.workers,
+        "method": batch.method,
+        "checkpoint": result.checkpoint,
+        "supervision": supervision.as_dict(),
+        "failures": [
+            {
+                "index": failure.index,
+                "error_type": failure.error_type,
+                "message": failure.message,
+                "attempts": failure.attempts,
+            }
+            for failure in batch.failures
+        ],
+        "probabilities": [
+            {
+                "index": index,
+                "label": dataset.label_of(index),
+                "probability": probability,
+            }
+            for index, probability in zip(batch.indices, batch.probabilities)
+        ],
+    }
+    lines = [
+        f"supervised batch over {dataset.cardinality} objects: "
+        f"{supervision.shards} shards on {result.workers} workers "
+        f"({supervision.resumed} resumed, {supervision.salvaged} salvaged, "
+        f"{supervision.hedges} hedged, {supervision.respawns} respawns)"
+    ]
+    lines += [
+        f"  {dataset.label_of(index):20s} sky = {probability:.6f}"
+        for index, probability in zip(batch.indices, batch.probabilities)
+    ]
+    lines += [
+        f"  FAILED {failure.index}: {failure.error_type}: {failure.message} "
+        f"({failure.attempts} attempts)"
+        for failure in batch.failures
+    ]
+    _emit(payload, arguments.json, lines)
+    return 3 if batch.failures else 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -542,6 +607,60 @@ def _build_parser() -> argparse.ArgumentParser:
         "fallback; it truncates at a chunk boundary when the cap expires",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    distrib = commands.add_parser(
+        "distrib",
+        help="all-objects skyline probabilities on supervised worker "
+        "processes: heartbeats, hedged re-dispatch, checkpoint/resume "
+        "(exit 3 if any object was salvaged as a failure record)",
+    )
+    add_common(distrib)
+    distrib.add_argument(
+        "--workers", type=int, default=2,
+        help="supervised worker processes (respawns keep the pool full)",
+    )
+    distrib.add_argument(
+        "--checkpoint", default=None,
+        help="JSONL checkpoint path: completed shards are appended "
+        "durably, and an interrupted run restarted with the same "
+        "arguments resumes from it",
+    )
+    distrib.add_argument(
+        "--no-resume", action="store_true",
+        help="overwrite an existing checkpoint instead of resuming",
+    )
+    distrib.add_argument(
+        "--max-shard-objects", type=int, default=None,
+        help="largest shard size (default: ceil(n / 8), independent of "
+        "--workers so a resumed run may change the pool size)",
+    )
+    distrib.add_argument(
+        "--stall-timeout", type=float, default=10.0,
+        help="heartbeat staleness (seconds) after which a worker is "
+        "declared hung, killed and respawned",
+    )
+    distrib.add_argument(
+        "--hedge-multiplier", type=float, default=3.0,
+        help="straggler threshold as a multiple of the p95 shard time",
+    )
+    distrib.add_argument(
+        "--no-hedge", action="store_true",
+        help="disable speculative re-dispatch of stragglers",
+    )
+    distrib.add_argument(
+        "--max-shard-retries", type=int, default=2,
+        help="shard re-dispatches before the circuit breaker trips",
+    )
+    distrib.add_argument(
+        "--on-error", choices=("salvage", "raise"), default="salvage",
+        help="circuit-breaker policy: salvage per-object failure "
+        "records (default) or fail the whole run",
+    )
+    distrib.add_argument(
+        "--run-timeout", type=float, default=None,
+        help="hard wall-clock bound on the whole run, seconds",
+    )
+    distrib.set_defaults(handler=_cmd_distrib)
     return parser
 
 

@@ -1774,3 +1774,143 @@ def run_serving_load(scale: str) -> List[ExperimentTable]:
             },
         )
     return [table]
+
+
+@register(
+    "distrib_overhead",
+    "Happy-path cost of the supervised shard coordinator",
+    "Section 1 (the all-objects sky operator)",
+)
+def run_distrib_overhead(scale: str) -> List[ExperimentTable]:
+    import os
+    import tempfile
+
+    from repro.distrib import DistribConfig, ShardCoordinator
+    from repro.robustness import FaultInjector
+
+    n, d = (200, 4) if scale == "full" else (60, 3)
+    workers = 2
+    # A ~2 s run on a single-core box carries scheduler noise the same
+    # size as the supervision cost being measured; each configuration is
+    # measured as the min of `repeats` interleaved baseline/supervised
+    # ratio pairs (see paired_ratio below).
+    repeats = 3
+
+    # Fresh engine per measurement: engines memoise exact answers, so a
+    # reused instance would time cache hits rather than the algorithms.
+    def fresh() -> SkylineProbabilityEngine:
+        return _blockzipf_engine(n, d, seed=221, preference_seed=222)
+
+    def best_of(function) -> tuple:
+        # min-of-k: supervision overhead is a small fixed cost, and a
+        # single run on a shared box carries scheduler noise of the same
+        # magnitude; the minimum is the standard low-noise estimator
+        answers, best = time_call(function)
+        for _ in range(repeats - 1):
+            again, seconds = time_call(function)
+            assert again == answers
+            best = min(best, seconds)
+        return answers, best
+
+    # the honest baseline: the batch planner on the same number of
+    # worker processes AND the same work granularity (the planner's
+    # default chunk is ceil(n / workers) — two warm chunk-local caches —
+    # while the coordinator's shard cap is ceil(n / 8); matching the
+    # chunk size to the cap means both sides pay the same cold-cache
+    # cost, so the ratio isolates the supervision layer itself:
+    # heartbeats, liveness tracking, hedging bookkeeping, checkpointing)
+    chunk_size = max(1, -(-n // 8))
+
+    def process_batch() -> List[float]:
+        return list(
+            batch_skyline_probabilities(
+                fresh(),
+                method="det+",
+                workers=workers,
+                chunk_size=chunk_size,
+                executor="process",
+            ).probabilities
+        )
+
+    table = ExperimentTable(
+        "distrib_overhead",
+        f"Supervision overhead on the happy path "
+        f"(block-zipf n={n}, d={d}, Det+, {workers} worker processes)",
+        columns=(
+            "configuration", "seconds", "overhead vs batch", "identical",
+        ),
+        paper_reference="Section 1 (Figures 9/13 workload shape)",
+        expectation=(
+            "with nothing failing, heartbeat supervision, hedging "
+            "bookkeeping, per-shard checkpoint appends and an idle "
+            "fault injector cost under 5% over the process-pool batch "
+            "planner, and every configuration returns bit-identical "
+            "probabilities"
+        ),
+    )
+    baseline_answers, baseline_seconds = best_of(process_batch)
+    table.add_row(
+        configuration=f"process-pool batch ({workers} workers)",
+        seconds=baseline_seconds,
+        **{"overhead vs batch": 1.0, "identical": True},
+    )
+
+    def paired_ratio(measured) -> tuple:
+        # Drift-robust overhead estimate: a sustained run on a throttled
+        # single-core box slows over minutes, so timing all baselines
+        # first would bias every later ratio upward.  Interleave instead
+        # — baseline, supervised, back to back — and take the minimum of
+        # the per-pair ratios; slow drift hits both halves of a pair
+        # equally and cancels.
+        nonlocal baseline_seconds
+        best_ratio = None
+        best_seconds = None
+        answers = None
+        for _ in range(repeats):
+            base_answers, base_seconds = time_call(process_batch)
+            answers, seconds = time_call(measured)
+            assert answers == base_answers
+            baseline_seconds = min(baseline_seconds, base_seconds)
+            ratio = seconds / base_seconds
+            if best_ratio is None or ratio < best_ratio:
+                best_ratio = ratio
+            if best_seconds is None or seconds < best_seconds:
+                best_seconds = seconds
+        return answers, best_seconds, best_ratio
+
+    with tempfile.TemporaryDirectory() as scratch:
+        configurations = (
+            ("supervised, defaults", {}),
+            (
+                "supervised + checkpoint",
+                # resume=False: each repeat must recompute every shard,
+                # not resume from the previous repeat's checkpoint
+                {
+                    "checkpoint": os.path.join(scratch, "overhead.ckpt"),
+                    "resume": False,
+                },
+            ),
+            ("supervised + idle injector", {}),
+        )
+        for label, config_fields in configurations:
+            run_options = {}
+            if label.endswith("idle injector"):
+                run_options["fault_injector"] = FaultInjector(seed=0)
+
+            def measured() -> List[float]:
+                config = DistribConfig(workers=workers, **config_fields)
+                result = ShardCoordinator(fresh(), config).run(
+                    method="det+", **run_options
+                )
+                return list(result.batch.probabilities)
+
+            answers, seconds, ratio = paired_ratio(measured)
+            table.add_row(
+                configuration=label,
+                seconds=seconds,
+                **{
+                    "overhead vs batch": ratio,
+                    "identical": answers == baseline_answers,
+                },
+            )
+    return [table]

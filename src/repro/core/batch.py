@@ -82,11 +82,15 @@ from repro.core.preferences import PreferenceModel
 from repro.errors import ReproError, RobustnessPolicyError
 from repro.obs import BatchStats
 from repro.util.rng import spawn_rngs
+from repro.util.unionfind import UnionFind
 
 __all__ = [
     "BatchFailure",
     "BatchResult",
+    "Shard",
     "batch_skyline_probabilities",
+    "plan_shards",
+    "spawn_batch_seeds",
     "EXECUTORS",
     "ON_ERROR_POLICIES",
 ]
@@ -214,6 +218,150 @@ def _sleep_backoff(backoff: float, attempt: int) -> None:
     """Capped exponential delay before the ``attempt``-th try (2-based)."""
     if backoff > 0.0:
         time.sleep(min(backoff * (2.0 ** (attempt - 2)), _BACKOFF_CAP))
+
+
+def spawn_batch_seeds(
+    method: str,
+    n: int,
+    *,
+    seed: object = None,
+    seeds: Sequence[object] | None = None,
+    deadline: float | None = None,
+) -> List[object]:
+    """The batch's per-object seed streams, one entry per queried object.
+
+    This is the *single* definition of how a batch derives randomness —
+    :func:`batch_skyline_probabilities` and the shard coordinator
+    (:mod:`repro.distrib`) both call it, which is what makes a sharded
+    run bit-identical to the one-shot batch: object ``k`` receives the
+    same stream no matter which worker, shard, or resumed coordinator
+    ultimately answers it.
+
+    Exact methods consume no randomness, so they get ``None`` entries —
+    unless a ``deadline`` is armed, in which case Det→Sam degradation
+    needs a fixed per-object stream to stay reproducible.  Explicit
+    ``seeds`` (one per object) bypass the spawning entirely.
+    """
+    if seeds is not None:
+        seed_list = list(seeds)
+        if len(seed_list) != n:
+            raise ReproError(
+                f"seeds must provide one entry per queried object "
+                f"({n}), got {len(seed_list)}"
+            )
+        return seed_list
+    if method in _EXACT_METHODS and deadline is None:
+        return [None] * n
+    return list(spawn_rngs(seed, n))
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One partition-component-aligned slice of a batch computation.
+
+    ``positions`` are positions in the batch's task order (the order of
+    the ``indices`` argument given to the planner), ``indices`` the
+    corresponding dataset indices.  Shards are what the
+    :class:`repro.distrib.ShardCoordinator` dispatches, supervises,
+    retries and checkpoints as a unit.
+    """
+
+    shard_id: int
+    positions: Tuple[int, ...]
+    indices: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+
+def plan_shards(
+    dataset: Dataset,
+    indices: Sequence[int] | None = None,
+    *,
+    max_shard_objects: int | None = None,
+) -> Tuple[Shard, ...]:
+    """Split a batch's objects into value-sharing-aligned shards.
+
+    Two objects land in the same *component* when they transitively share
+    an attribute value on some dimension — exactly the value-sharing
+    graph behind the Theorem-4 partition, lifted from one target's
+    competitors to the whole batch.  Objects in different components
+    never read a common preference variable for *any* target, so a shard
+    that follows component boundaries maximises what each worker-local
+    :class:`DominanceCache` can amortise and minimises duplicated
+    preference resolution across workers.
+
+    Components larger than ``max_shard_objects`` are split into
+    consecutive runs; smaller ones are packed together first-fit in
+    first-seen order, up to the cap (default: ``ceil(n / 8)``, so a
+    typical plan has at least eight shards for the coordinator to
+    schedule around stragglers).  The plan is a pure function of the
+    dataset, the index list, and the cap — every run (and every resumed
+    run) produces the same shards.
+    """
+    dataset_size = len(dataset)
+    if indices is None:
+        index_list = list(range(dataset_size))
+    else:
+        index_list = [int(index) for index in indices]
+        for index in index_list:
+            if not 0 <= index < dataset_size:
+                raise ReproError(
+                    f"index {index} out of range (dataset has "
+                    f"{dataset_size} objects)"
+                )
+    n = len(index_list)
+    if max_shard_objects is None:
+        max_shard_objects = max(1, -(-n // 8))
+    if (
+        isinstance(max_shard_objects, bool)
+        or not isinstance(max_shard_objects, int)
+        or max_shard_objects < 1
+    ):
+        raise ReproError(
+            f"max_shard_objects must be a positive integer or None, "
+            f"got {max_shard_objects!r}"
+        )
+    # Connected components of the value-sharing graph over the queried
+    # objects: positions sharing any (dimension, value) key are unioned.
+    union_find = UnionFind()
+    anchor: Dict[Tuple[int, object], int] = {}
+    for position, index in enumerate(index_list):
+        union_find.add(position)
+        for dimension, value in enumerate(dataset[index]):
+            key = (dimension, value)
+            if key in anchor:
+                union_find.union(anchor[key], position)
+            else:
+                anchor[key] = position
+    components = [sorted(part) for part in union_find.components()]
+    components.sort(key=lambda part: part[0])  # first-seen order
+    # Split oversized components, then pack small ones first-fit in
+    # order so shard boundaries respect component boundaries wherever
+    # the cap allows.
+    groups: List[List[int]] = []
+    for component in components:
+        pieces = [
+            component[i : i + max_shard_objects]
+            for i in range(0, len(component), max_shard_objects)
+        ]
+        for piece in pieces:
+            if (
+                len(pieces) == 1
+                and groups
+                and len(groups[-1]) + len(piece) <= max_shard_objects
+            ):
+                groups[-1].extend(piece)
+            else:
+                groups.append(list(piece))
+    return tuple(
+        Shard(
+            shard_id,
+            tuple(group),
+            tuple(index_list[position] for position in group),
+        )
+        for shard_id, group in enumerate(groups)
+    )
 
 
 # One task = (position in the batch, dataset index, per-object seed).
@@ -538,18 +686,12 @@ def batch_skyline_probabilities(
     # An armed deadline spawns streams for exact methods too, so their
     # Det→Sam degradation is equally reproducible.  Explicit ``seeds``
     # bypass the spawning entirely (coalesced single-object requests each
-    # bring the stream their direct query would have used).
-    if seeds is not None:
-        seed_list = list(seeds)
-        if len(seed_list) != n:
-            raise ReproError(
-                f"seeds must provide one entry per queried object "
-                f"({n}), got {len(seed_list)}"
-            )
-    elif method in _EXACT_METHODS and deadline is None:
-        seed_list: List[object] = [None] * n
-    else:
-        seed_list = list(spawn_rngs(seed, n))
+    # bring the stream their direct query would have used).  The same
+    # helper feeds the shard coordinator, which is what keeps sharded
+    # runs bit-identical to this one-shot path.
+    seed_list = spawn_batch_seeds(
+        method, n, seed=seed, seeds=seeds, deadline=deadline
+    )
     tasks: List[_Task] = list(zip(range(n), index_list, seed_list))
 
     results: Dict[int, SkylineReport] = {}

@@ -1,0 +1,204 @@
+"""Worker-process entry point for the shard coordinator.
+
+One worker is one OS process holding one end of a duplex pipe.  It
+announces itself, then loops: receive a
+:class:`~repro.distrib.protocol.ShardTask`, answer its objects one by
+one through the *same* retry/salvage machinery the batch planner uses
+in-process (:func:`repro.core.batch._run_task_with_retry`), and send
+back a :class:`~repro.distrib.protocol.ShardPayload`.  Before each
+object it emits a heartbeat, so the coordinator's liveness model has
+per-object granularity: a worker that stops beating mid-shard is hung
+(or dead), not merely busy.
+
+Determinism notes, because they carry the whole fault-tolerance story:
+
+* a **fresh engine and a fresh dominance cache per dispatch** make every
+  payload a pure function of the shard plan and the fault plan — a
+  hedged twin or a retried dispatch produces the same reports and the
+  same cache counters, so "first result wins" cannot change the merged
+  batch;
+* the per-object seed streams ride inside the task (spawned once by the
+  coordinator via :func:`repro.core.batch.spawn_batch_seeds`), so *which
+  worker* answers an object never touches its randomness;
+* the user's :class:`~repro.robustness.FaultInjector` is wrapped in an
+  :class:`~repro.distrib.protocol.OffsetInjector` whose offset advances
+  with the dispatch counter, keeping ``(seed, index, attempt)`` keying
+  monotonic across worker lifetimes.
+
+Failures inside a dispatch follow the planner's policy: transient
+exceptions are retried in-worker with capped backoff; with
+``salvage=False`` a persistent failure aborts the dispatch (reported as
+``MSG_ERROR`` for the coordinator's shard-level retry/backoff loop);
+with ``salvage=True`` — the circuit-breaker's final attempt — each
+failing object degrades to a structured
+:class:`~repro.core.batch.BatchFailure` while the rest of the shard
+completes.  Injected worker deaths (``SIGKILL``) and stalls need no code
+here at all: death surfaces as a broken pipe, a stall as heartbeat
+silence, both at the coordinator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import repro.obs as obs
+
+# The worker deliberately reuses the batch planner's private in-process
+# task runner: it is the single implementation of "answer one object
+# with retry, backoff and salvage", and sharded execution must match its
+# semantics bit for bit.
+from repro.core.batch import BatchFailure, _run_task_with_retry
+from repro.core.dominance import DominanceCache
+from repro.core.engine import SkylineProbabilityEngine
+from repro.distrib.protocol import (
+    MSG_BEAT,
+    MSG_ERROR,
+    MSG_READY,
+    MSG_RESULT,
+    MSG_RUN,
+    MSG_STOP,
+    OffsetInjector,
+    ShardPayload,
+    ShardTask,
+)
+
+__all__ = ["worker_main", "execute_shard"]
+
+
+def execute_shard(
+    task: ShardTask,
+    *,
+    dataset: object,
+    preferences: object,
+    max_exact_objects: int,
+    method: str,
+    query_options: Dict[str, object],
+    fault_injector: object,
+    task_retries: int,
+    backoff: float,
+    beat=None,
+) -> ShardPayload:
+    """Run one shard dispatch and return its payload.
+
+    Factored out of the process loop so the coordinator can also run a
+    shard *inline* (workers=0 debugging, and the salvage path of a shard
+    whose objects persistently fail) and so tests can exercise shard
+    execution without process machinery.  ``beat`` is called as
+    ``beat(done, total)`` before each object when provided.
+    """
+    injector = fault_injector
+    if injector is not None and task.attempt_offset:
+        injector = OffsetInjector(injector, task.attempt_offset)
+    engine = SkylineProbabilityEngine(
+        dataset, preferences, max_exact_objects=max_exact_objects
+    )
+    cache = DominanceCache(preferences)
+    reports: List[Tuple[int, object]] = []
+    failures: List[Tuple[int, BatchFailure]] = []
+    retries = 0
+    total = len(task.tasks)
+    for done, entry in enumerate(task.tasks):
+        if beat is not None:
+            beat(done, total)
+        position, report, failure, retries_used = _run_task_with_retry(
+            engine,
+            cache,
+            method,
+            query_options,
+            injector,
+            entry,
+            attempts_done=0,
+            max_retries=task_retries,
+            backoff=backoff,
+            on_error="salvage" if task.salvage else "raise",
+        )
+        retries += retries_used
+        if report is not None:
+            reports.append((position, report))
+        else:
+            failures.append((position, failure))
+    return ShardPayload(
+        shard_id=task.shard_id,
+        reports=tuple(reports),
+        failures=tuple(failures),
+        retries=retries,
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+    )
+
+
+def worker_main(
+    worker_id: int,
+    conn,
+    dataset: object,
+    preferences: object,
+    max_exact_objects: int,
+    method: str,
+    query_options: Dict[str, object],
+    fault_injector: object,
+    task_retries: int,
+    backoff: float,
+    observe: bool,
+) -> None:
+    """Process entry point: serve shard dispatches until told to stop.
+
+    ``observe`` carries the coordinator's :mod:`repro.obs` switch across
+    the process boundary (spawn-style workers do not inherit module
+    globals), so per-query ``stats`` ride on the pickled reports exactly
+    as they do in the batch planner's process pool.
+    """
+    if observe and not obs.is_enabled():
+        obs.enable()
+    try:
+        conn.send((MSG_READY, worker_id))
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break  # coordinator is gone; nothing left to report to
+            if not isinstance(message, tuple) or not message:
+                continue
+            if message[0] == MSG_STOP:
+                break
+            if message[0] != MSG_RUN:
+                continue
+            task: ShardTask = message[1]
+            try:
+                payload = execute_shard(
+                    task,
+                    dataset=dataset,
+                    preferences=preferences,
+                    max_exact_objects=max_exact_objects,
+                    method=method,
+                    query_options=query_options,
+                    fault_injector=fault_injector,
+                    task_retries=task_retries,
+                    backoff=backoff,
+                    beat=lambda done, total: conn.send(
+                        (MSG_BEAT, worker_id, task.shard_id, done, total)
+                    ),
+                )
+                conn.send(
+                    (MSG_RESULT, worker_id, task.shard_id, task.dispatch, payload)
+                )
+            except (EOFError, BrokenPipeError, OSError):
+                break  # the pipe died mid-shard; the coordinator noticed
+            except BaseException as error:  # noqa: BLE001 — reported upstream
+                try:
+                    conn.send(
+                        (
+                            MSG_ERROR,
+                            worker_id,
+                            task.shard_id,
+                            task.dispatch,
+                            type(error).__name__,
+                            str(error),
+                        )
+                    )
+                except (BrokenPipeError, OSError):
+                    break
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass

@@ -23,6 +23,13 @@ __all__ = [
     "ExperimentError",
     "ServingError",
     "AdmissionRejectedError",
+    "RetryExhaustedError",
+    "DistribError",
+    "ShardFailedError",
+    "CoordinatorAbortedError",
+    "CheckpointError",
+    "CheckpointCorruptionError",
+    "CheckpointMismatchError",
 ]
 
 
@@ -135,4 +142,83 @@ class AdmissionRejectedError(ServingError):
     *before* any engine work happens, so an overloaded server sheds load
     in O(1) instead of queueing unboundedly.  Maps to HTTP 429 with a
     structured error body.
+    """
+
+
+class RetryExhaustedError(ServingError):
+    """A client-side retry budget ran out without a successful response.
+
+    Raised by :class:`repro.serve.client.ServeClient` after an idempotent
+    request (``/query`` and the ``GET`` routes — never ``/edit``) has
+    failed ``attempts`` times in a row.  The final underlying failure is
+    attached as ``last_error`` (and chained as ``__cause__``) so callers
+    can distinguish timeouts from connection failures.
+    """
+
+    def __init__(self, message: str, *, attempts: int, last_error: BaseException) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class DistribError(ReproError):
+    """Base class for errors of the shard coordinator (:mod:`repro.distrib`)."""
+
+
+class ShardFailedError(DistribError):
+    """A shard exhausted its retry budget with ``on_error="raise"``.
+
+    Carries the shard's dataset ``indices`` and the last observed
+    failure, so callers can tell which objects were lost.  With the
+    default ``on_error="salvage"`` policy the coordinator never raises
+    this: the shard degrades to structured ``BatchFailure`` records
+    instead.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_id: int = -1,
+        indices: tuple = (),
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.indices = tuple(indices)
+        self.attempts = attempts
+
+
+class CoordinatorAbortedError(DistribError):
+    """The coordinator was deliberately killed at a chaos failpoint.
+
+    Raised by ``ShardCoordinator.run(abort_after_shards=k)`` right after
+    the ``k``-th shard of the run has been durably checkpointed — the
+    crash-atomicity suite uses it to model a coordinator dying between
+    shard completions, then asserts a resumed run is bit-identical to an
+    uninterrupted one.
+    """
+
+
+class CheckpointError(DistribError):
+    """Base class for checkpoint-store failures."""
+
+
+class CheckpointCorruptionError(CheckpointError):
+    """A checkpoint line could not be decoded or failed its checksum.
+
+    Surfaced instead of silently dropping shards: a truncated tail, a
+    malformed JSON record, a bad base64 payload or a digest mismatch all
+    raise with the offending line number, so an operator can decide to
+    delete the checkpoint rather than trust a partial resume.
+    """
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A checkpoint belongs to a different run and cannot be resumed.
+
+    The header fingerprints the computation (dataset, preference-model
+    version, method, options, seed and shard plan); resuming against a
+    checkpoint whose fingerprint or format version differs raises this
+    rather than merging incompatible results.
     """

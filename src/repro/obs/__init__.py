@@ -45,7 +45,12 @@ from repro.obs.registry import (
     Histogram,
     StatsRegistry,
 )
-from repro.obs.stats import BatchStats, QueryStats, query_stats_from_report
+from repro.obs.stats import (
+    BatchStats,
+    DistribStats,
+    QueryStats,
+    query_stats_from_report,
+)
 
 __all__ = [
     "Counter",
@@ -55,6 +60,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "QueryStats",
     "BatchStats",
+    "DistribStats",
     "query_stats_from_report",
     "enable",
     "disable",

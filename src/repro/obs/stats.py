@@ -19,7 +19,12 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, Tuple
 
-__all__ = ["QueryStats", "BatchStats", "query_stats_from_report"]
+__all__ = [
+    "QueryStats",
+    "BatchStats",
+    "DistribStats",
+    "query_stats_from_report",
+]
 
 
 @dataclass(frozen=True)
@@ -98,6 +103,37 @@ def _tally_partition_results(results: Iterable[object]) -> Dict[str, int]:
             tally["sampler_checks"] += result.checks
             tally["sampled_partitions"] += 1
     return tally
+
+
+@dataclass(frozen=True)
+class DistribStats:
+    """Supervision provenance of one coordinator run.
+
+    Rides on :class:`repro.distrib.DistribResult.supervision`.  The
+    counters describe the *supervision layer*, never the answers (which
+    stay bit-identical to the unsupervised batch): ``shards`` planned,
+    of which ``resumed`` came from a checkpoint and ``salvaged``
+    degraded to failure records; ``hedges`` speculative re-dispatches;
+    ``respawns`` workers replaced after a death or a stall (``deaths``
+    and ``stalls`` split the causes); ``heartbeats`` liveness messages
+    received; ``duplicates`` late results dropped after another dispatch
+    already won.
+    """
+
+    shards: int = 0
+    resumed: int = 0
+    salvaged: int = 0
+    hedges: int = 0
+    respawns: int = 0
+    stalls: int = 0
+    deaths: int = 0
+    heartbeats: int = 0
+    duplicates: int = 0
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view of the counters."""
+        return asdict(self)
 
 
 def query_stats_from_report(

@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import FrozenSet, Type
@@ -85,6 +86,22 @@ class FaultInjector:
     slow_rate, slow_seconds:
         Fraction of object indices whose tasks sleep ``slow_seconds``
         before answering (deadline/straggler chaos).
+    die_rate, die_indices, die_attempts:
+        Worker *death* plan: a task whose :meth:`dies` decision fires is
+        killed with ``SIGKILL`` mid-task — no exception, no cleanup, the
+        harshest failure a supervised worker pool must absorb.  Decided
+        per index by hash (``die_rate``) or explicitly (``die_indices``),
+        and only for attempts up to ``die_attempts``, so a supervisor
+        that re-dispatches with advancing attempt numbers eventually gets
+        past the fault.  Outside a worker process (the coordinating pid)
+        the death degrades to a raised :class:`InjectedFault` — an
+        injector can never kill the process that planned the chaos.
+    stall_rate, stall_indices, stall_attempts, stall_seconds:
+        Heartbeat-silence plan: a task whose :meth:`stalls` decision
+        fires sleeps ``stall_seconds`` before doing any work — long
+        enough that a heartbeat-supervised worker goes stale and is
+        hedged or killed.  Gated on ``attempt <= stall_attempts`` so a
+        re-dispatch (which carries a higher attempt number) completes.
     kind:
         One of :data:`FAULT_KINDS` — raise an exception or hard-kill the
         worker process.
@@ -99,6 +116,13 @@ class FaultInjector:
     poison: FrozenSet[int] = frozenset()
     slow_rate: float = 0.0
     slow_seconds: float = 0.0
+    die_rate: float = 0.0
+    die_indices: FrozenSet[int] = frozenset()
+    die_attempts: int = 1
+    stall_rate: float = 0.0
+    stall_indices: FrozenSet[int] = frozenset()
+    stall_attempts: int = 1
+    stall_seconds: float = 60.0
     kind: str = "raise"
     exception: Type[BaseException] = InjectedFault
     # Captured at construction (the coordinator); lets "exit" faults tell
@@ -111,6 +135,8 @@ class FaultInjector:
                 f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
             )
         object.__setattr__(self, "poison", frozenset(self.poison))
+        object.__setattr__(self, "die_indices", frozenset(self.die_indices))
+        object.__setattr__(self, "stall_indices", frozenset(self.stall_indices))
 
     # ------------------------------------------------------------------
     def crashes(self, index: int, attempt: int) -> bool:
@@ -131,15 +157,47 @@ class FaultInjector:
             and _uniform(self.seed, index, "slow") < self.slow_rate
         )
 
+    def dies(self, index: int, attempt: int) -> bool:
+        """Whether the worker running ``index`` is SIGKILLed on ``attempt``."""
+        if attempt > self.die_attempts:
+            return False
+        if index in self.die_indices:
+            return True
+        return (
+            self.die_rate > 0.0
+            and _uniform(self.seed, index, "die") < self.die_rate
+        )
+
+    def stalls(self, index: int) -> bool:
+        """Whether the task for ``index`` goes heartbeat-silent."""
+        if index in self.stall_indices:
+            return True
+        return (
+            self.stall_rate > 0.0
+            and _uniform(self.seed, index, "stall") < self.stall_rate
+        )
+
     def before_task(self, index: int, attempt: int) -> None:
         """Failpoint: called by a worker right before answering ``index``.
 
-        Sleeps for slow tasks, then crashes per the plan.  Runs *before*
-        any randomness is consumed, so a retried task's sampled answer is
-        bit-identical to a fault-free run.
+        Sleeps for slow/stalled tasks, then kills or crashes per the
+        plan.  Runs *before* any randomness is consumed, so a retried
+        task's sampled answer is bit-identical to a fault-free run.
         """
         if self.is_slow(index):
             time.sleep(self.slow_seconds)
+        if self.stalls(index) and attempt <= self.stall_attempts:
+            # Heartbeat silence: sleep without reporting progress.  The
+            # supervisor's stall detector (or a hedged re-dispatch, which
+            # arrives with a higher attempt number) must resolve it.
+            time.sleep(self.stall_seconds)
+        if self.dies(index, attempt):
+            if os.getpid() != self.origin_pid:
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise self.exception(
+                f"injected worker death for object {index} on attempt "
+                f"{attempt} (degraded to raise: not in a worker process)"
+            )
         if not self.crashes(index, attempt):
             return
         if self.kind == "exit" and os.getpid() != self.origin_pid:

@@ -6,26 +6,53 @@ tests, the chaos suite, and the serving-load benchmark without any
 third-party dependency.  It is deliberately not a general HTTP client:
 one connection, serial requests, structured errors decoded back into
 plain data.
+
+Timeouts and retries
+--------------------
+A client-wide ``timeout`` (overridable per request) bounds each attempt
+end to end; a timed-out attempt closes the connection, since the stream
+may hold half a response.  Failed attempts are retried up to
+``max_retries`` times with capped exponential backoff plus uniform
+jitter — but **only for idempotent requests**: ``GET``\\ s and ``POST
+/query`` (a pure read of the engine).  ``POST /edit`` and ``POST
+/drain`` are never resent — a connection that died mid-edit cannot
+reveal whether the edit was applied, and replaying it could double an
+insert.  When the retry budget runs out the client raises
+:class:`~repro.errors.RetryExhaustedError` with the last underlying
+error attached (``.last_error``); non-idempotent failures surface the
+underlying error unchanged.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 from typing import Dict, Optional, Tuple
 
-from repro.errors import ServingError
+from repro.errors import RetryExhaustedError, ServingError
 
 __all__ = ["ServeClient", "ServeResponse"]
 
+#: Ceiling on one retry backoff sleep, seconds.
+_BACKOFF_CAP = 1.0
+
 
 class ServeResponse:
-    """One decoded response: ``status``, ``data`` (JSON) or ``text``."""
+    """One decoded response: ``status``, ``headers``, ``data``/``text``."""
 
-    def __init__(self, status: int, content_type: str, body: bytes) -> None:
+    def __init__(
+        self,
+        status: int,
+        content_type: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.status = status
         self.content_type = content_type
         self.body = body
+        #: Response headers, lower-cased names (e.g. ``retry-after``).
+        self.headers: Dict[str, str] = headers or {}
 
     @property
     def text(self) -> str:
@@ -54,13 +81,49 @@ class ServeClient:
     coroutines interleave reads on the shared stream.  Coalescing only
     helps requests that are in flight *simultaneously*, so open one
     client per concurrent caller — the chaos suite opens one per
-    simulated user.  A request finding the connection closed (e.g. the
-    server restarted between calls) reconnects once before failing.
+    simulated user.
+
+    ``timeout`` bounds each attempt (``None`` waits forever);
+    ``max_retries`` re-sends failed *idempotent* attempts (see the
+    module docstring for exactly which requests qualify) after
+    ``backoff * 2**k`` seconds, capped at 1s, each sleep stretched by a
+    uniform ``[0, jitter]`` fraction so synchronized clients do not
+    retry in lockstep.
     """
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = None,
+        max_retries: int = 0,
+        backoff: float = 0.05,
+        jitter: float = 0.5,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if timeout is not None and timeout <= 0:
+            raise ServingError(
+                f"timeout must be a positive number or None, got {timeout!r}"
+            )
+        if isinstance(max_retries, bool) or not isinstance(max_retries, int) \
+                or max_retries < 0:
+            raise ServingError(
+                f"max_retries must be a non-negative integer, "
+                f"got {max_retries!r}"
+            )
+        if backoff < 0 or jitter < 0:
+            raise ServingError(
+                f"backoff and jitter must be non-negative, got "
+                f"backoff={backoff!r} jitter={jitter!r}"
+            )
         self._host = host
         self._port = port
+        self._timeout = timeout
+        self._max_retries = max_retries
+        self._backoff = backoff
+        self._jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._lock = asyncio.Lock()
@@ -90,22 +153,83 @@ class ServeClient:
             self._reader = self._writer = None
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _is_idempotent(method: str, path: str) -> bool:
+        """Whether a request may be safely re-sent after a failure.
+
+        ``GET``\\ s never mutate anything; ``POST /query`` is a pure
+        read of the engine (the coalescer answers it from a snapshot).
+        ``POST /edit`` mutates the dataset and ``POST /drain`` shuts the
+        tier down — replaying either could apply it twice.
+        """
+        return method.upper() == "GET" or (
+            method.upper() == "POST" and path == "/query"
+        )
+
+    def _retry_delay(self, attempt: int) -> float:
+        """Backoff before re-attempt ``attempt`` (1-based), with jitter."""
+        if self._backoff <= 0.0:
+            return 0.0
+        delay = min(self._backoff * (2.0 ** (attempt - 1)), _BACKOFF_CAP)
+        if self._jitter > 0.0:
+            delay *= 1.0 + self._rng.uniform(0.0, self._jitter)
+        return delay
+
     async def request(
-        self, method: str, path: str, payload: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        *,
+        timeout: Optional[float] = None,
+        idempotent: Optional[bool] = None,
     ) -> ServeResponse:
         """Send one request and await its response.
 
-        Retries once on a dead keep-alive connection, then surfaces the
-        failure.
+        ``timeout`` overrides the client-wide per-attempt bound;
+        ``idempotent`` overrides the method/path inference (e.g. a
+        caller that knows its ``POST`` is safe to replay).  Idempotent
+        requests that keep failing raise
+        :class:`~repro.errors.RetryExhaustedError` once the retry budget
+        is spent; non-idempotent requests fail on the first error,
+        surfacing it unchanged.
         """
+        if timeout is None:
+            timeout = self._timeout
+        if idempotent is None:
+            idempotent = self._is_idempotent(method, path)
+        retries = self._max_retries if idempotent else 0
         async with self._lock:
-            if self._writer is None:
-                await self.connect()
-            try:
-                return await self._roundtrip(method, path, payload)
-            except (ConnectionError, asyncio.IncompleteReadError):
-                await self.connect()
-                return await self._roundtrip(method, path, payload)
+            last_error: Optional[BaseException] = None
+            for attempt in range(retries + 1):
+                if attempt:
+                    await asyncio.sleep(self._retry_delay(attempt))
+                try:
+                    if self._writer is None:
+                        await self.connect()
+                    if timeout is None:
+                        return await self._roundtrip(method, path, payload)
+                    return await asyncio.wait_for(
+                        self._roundtrip(method, path, payload), timeout
+                    )
+                except (
+                    ConnectionError,
+                    asyncio.IncompleteReadError,
+                    asyncio.TimeoutError,
+                    OSError,
+                ) as error:
+                    last_error = error
+                    # The stream may hold a half-written request or a
+                    # half-read response; never reuse it.
+                    await self.close()
+                    if not retries:
+                        raise
+            raise RetryExhaustedError(
+                f"{method} {path} failed after {retries + 1} attempts: "
+                f"{type(last_error).__name__}: {last_error}",
+                attempts=retries + 1,
+                last_error=last_error,
+            )
 
     async def _roundtrip(
         self, method: str, path: str, payload: Optional[dict]
@@ -129,7 +253,7 @@ class ServeClient:
         if headers.get("connection", "").lower() == "close":
             await self.close()
         return ServeResponse(
-            status, headers.get("content-type", ""), response_body
+            status, headers.get("content-type", ""), response_body, headers
         )
 
     async def _read_head(self) -> Tuple[int, Dict[str, str]]:
@@ -158,7 +282,11 @@ class ServeClient:
         return await self.request("POST", "/query", payload)
 
     async def edit(self, operation: str, **fields: object) -> ServeResponse:
-        """``POST /edit`` with the given operation and fields."""
+        """``POST /edit`` with the given operation and fields.
+
+        Never retried: a lost connection cannot prove the edit was not
+        applied, so the caller decides whether to replay.
+        """
         payload: Dict[str, object] = {"operation": operation}
         payload.update(fields)
         return await self.request("POST", "/edit", payload)

@@ -32,7 +32,10 @@ Failure semantics (each with a structured JSON body
 admission rejection → 429, deadline raise → 504, duplicate insert → 409,
 draining → 503, any other :class:`~repro.errors.ReproError` (bad option,
 stale index, malformed payload) → 400, unknown route → 404, oversized
-body → 413.
+body → 413.  A connection arriving while ``max_connections`` are already
+open gets a fast ``503`` with a ``Retry-After`` header and is closed
+without entering the request loop (counted in
+``repro_serve_rejected_connections_total``).
 """
 
 from __future__ import annotations
@@ -85,6 +88,11 @@ class ServeConfig:
     :attr:`SkylineServer.port` after :meth:`SkylineServer.start`).
     ``default_query`` supplies query options merged under each request's
     own payload — the CLI uses it to arm a server-wide deadline policy.
+    ``max_connections`` caps *open sockets* (not in-flight queries, which
+    ``max_pending`` already bounds): connections over the cap are turned
+    away immediately with a ``503`` carrying ``Retry-After:
+    retry_after`` seconds, protecting the event loop's fairness under
+    connection floods.  ``None`` (the default) keeps the tier unlimited.
     ``observe=False`` keeps the global :mod:`repro.obs` registry
     untouched (tests and experiments measure through ``trace`` instead);
     with ``observe=True`` the server enables it on start and, if it was
@@ -98,6 +106,8 @@ class ServeConfig:
     max_pending: int = 256
     drain_timeout: float = 30.0
     max_body_bytes: int = 1 << 20
+    max_connections: Optional[int] = None
+    retry_after: float = 1.0
     default_query: Dict[str, object] = field(default_factory=dict)
     observe: bool = True
 
@@ -219,6 +229,10 @@ class SkylineServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        limit = self._config.max_connections
+        if limit is not None and len(self._connections) >= limit:
+            await self._reject_connection(writer, limit)
+            return
         self._connections.add(writer)
         try:
             while True:
@@ -255,6 +269,46 @@ class SkylineServer:
                 await writer.wait_closed()
             except (ConnectionError, asyncio.CancelledError):
                 pass
+
+    async def _reject_connection(
+        self, writer: asyncio.StreamWriter, limit: int
+    ) -> None:
+        """Turn away an over-cap connection before reading anything.
+
+        The fast 503 costs no request parsing and no executor time, so a
+        connection flood cannot starve the clients already admitted.
+        """
+        retry_after = self._config.retry_after
+        if obs.is_enabled():
+            obs.registry().counter(
+                "repro_serve_rejected_connections_total",
+                "Connections refused because max_connections was reached.",
+            ).inc()
+        payload = {
+            "error": {
+                "type": "AdmissionRejectedError",
+                "message": (
+                    f"connection limit of {limit} reached; "
+                    f"retry after {retry_after:g}s"
+                ),
+            }
+        }
+        try:
+            await self._respond(
+                writer,
+                503,
+                payload,
+                _JSON_TYPE,
+                close=True,
+                extra_headers={"Retry-After": f"{retry_after:g}"},
+            )
+        except ConnectionError:
+            pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -491,6 +545,7 @@ class SkylineServer:
         content_type: str,
         *,
         close: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         if isinstance(payload, str):
             body = payload.encode("utf-8")
@@ -498,11 +553,16 @@ class SkylineServer:
             body = json.dumps(payload).encode("utf-8")
         reason = _REASONS.get(status, "Unknown")
         connection = "close" if close else "keep-alive"
+        extras = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {connection}\r\n"
+            f"{extras}"
             "\r\n"
         ).encode("latin-1")
         writer.write(head + body)

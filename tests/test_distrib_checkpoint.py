@@ -1,0 +1,294 @@
+"""Checkpoint/resume: crash atomicity, strict loading, bit-identity.
+
+The contract under test: a coordinator killed after *any* number of
+checkpointed shards resumes into a :class:`~repro.core.batch.BatchResult`
+**equal** to the uninterrupted run's — same reports, same failure
+records, same cache counters — and a checkpoint that cannot be trusted
+(torn tail, tampered payload, different computation) raises a structured
+error instead of merging garbage.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import SkylineProbabilityEngine
+from repro.data.blockzipf import block_zipf_dataset
+from repro.data.procedural import HashedPreferenceModel
+from repro.distrib import (
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    DistribConfig,
+    ShardCoordinator,
+    ShardPayload,
+)
+from repro.errors import (
+    CheckpointCorruptionError,
+    CheckpointMismatchError,
+    CoordinatorAbortedError,
+)
+
+pytestmark = pytest.mark.chaos
+
+FAST = dict(backoff=0.001, stall_timeout=30.0, run_timeout=120.0)
+
+
+def _engine(n=12, d=3, *, seed=21, preference_seed=22):
+    dataset = block_zipf_dataset(n, d, seed=seed)
+    preferences = HashedPreferenceModel(d, seed=preference_seed)
+    return SkylineProbabilityEngine(dataset, preferences)
+
+
+def _coordinator(checkpoint, *, resume=True, workers=2):
+    return ShardCoordinator(
+        _engine(),
+        DistribConfig(
+            workers=workers, checkpoint=str(checkpoint), resume=resume, **FAST
+        ),
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _uninterrupted():
+    """The reference run: no checkpoint, no faults, no interruptions."""
+    return ShardCoordinator(
+        _engine(), DistribConfig(workers=2, **FAST)
+    ).run(method="det+")
+
+
+def _payload(shard_id, *, cache_hits=0):
+    return ShardPayload(
+        shard_id=shard_id,
+        reports=(),
+        failures=(),
+        retries=0,
+        cache_hits=cache_hits,
+        cache_misses=0,
+    )
+
+
+class TestStoreRoundtrip:
+    def test_header_and_payloads_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run.ckpt")
+        assert not store.exists()
+        store.write_header("feed", {"method": "det+"})
+        store.append_shard(0, 1, _payload(0, cache_hits=3))
+        store.append_shard(2, 2, _payload(2))
+        header, payloads = store.load(expected_fingerprint="feed")
+        assert header["version"] == CHECKPOINT_VERSION
+        assert header["meta"] == {"method": "det+"}
+        assert sorted(payloads) == [0, 2]
+        assert payloads[0].cache_hits == 3
+
+    def test_duplicate_shard_records_keep_the_first(self, tmp_path):
+        # a hedge twin's result racing a crash can duplicate a record;
+        # both are bit-identical by construction, but resume must trust
+        # the one it already merged
+        store = CheckpointStore(tmp_path / "run.ckpt")
+        store.write_header("feed", {})
+        store.append_shard(1, 1, _payload(1, cache_hits=7))
+        store.append_shard(1, 2, _payload(1, cache_hits=9))
+        _, payloads = store.load()
+        assert payloads[1].cache_hits == 7
+
+    def test_rewriting_the_header_truncates_old_records(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run.ckpt")
+        store.write_header("old", {})
+        store.append_shard(0, 1, _payload(0))
+        store.write_header("new", {})
+        _, payloads = store.load(expected_fingerprint="new")
+        assert payloads == {}
+
+
+def _valid_checkpoint(tmp_path):
+    store = CheckpointStore(tmp_path / "run.ckpt")
+    store.write_header("feed", {})
+    store.append_shard(0, 1, _payload(0))
+    store.append_shard(1, 1, _payload(1))
+    return store
+
+
+def _tamper_digest(lines):
+    record = json.loads(lines[1])
+    record["sha256"] = "0" * 64
+    lines[1] = json.dumps(record)
+    return lines
+
+
+def _tamper_base64(lines):
+    record = json.loads(lines[1])
+    record["payload"] = "!!not base64!!"
+    lines[1] = json.dumps(record)
+    return lines
+
+
+def _tamper_shard_id(lines):
+    record = json.loads(lines[1])
+    record["shard_id"] = "zero"
+    lines[1] = json.dumps(record)
+    return lines
+
+
+class TestCorruption:
+    @pytest.mark.parametrize(
+        ("mutate", "match"),
+        [
+            (lambda lines: lines[:1] + ["{not json"], "not valid JSON"),
+            (lambda lines: lines[:1] + ['"a string"'], "expected an object"),
+            (lambda lines: lines[1:], "missing header"),
+            (lambda lines: [], "empty"),
+            (
+                lambda lines: lines[:1] + ['{"kind": "mystery"}'],
+                "unknown record kind",
+            ),
+            (_tamper_digest, "digest mismatch"),
+            (_tamper_base64, "undecodable"),
+            (_tamper_shard_id, "not an integer"),
+        ],
+        ids=[
+            "bad-json",
+            "non-object",
+            "missing-header",
+            "empty-file",
+            "unknown-kind",
+            "tampered-digest",
+            "bad-base64",
+            "bad-shard-id",
+        ],
+    )
+    def test_corrupted_records_raise_with_line_numbers(
+        self, tmp_path, mutate, match
+    ):
+        store = _valid_checkpoint(tmp_path)
+        lines = store.path.read_text().splitlines()
+        body = "".join(line + "\n" for line in mutate(lines))
+        store.path.write_text(body)
+        with pytest.raises(CheckpointCorruptionError, match=match):
+            store.load()
+
+    def test_torn_final_line_is_reported_as_truncation(self, tmp_path):
+        # simulate the coordinator dying mid-append: chop the file in
+        # the middle of the last record, leaving no trailing newline
+        store = _valid_checkpoint(tmp_path)
+        text = store.path.read_text()
+        store.path.write_text(text[: len(text) - 20])
+        with pytest.raises(CheckpointCorruptionError, match="truncated"):
+            store.load()
+
+    def test_missing_file_is_corruption_not_a_crash(self, tmp_path):
+        with pytest.raises(CheckpointCorruptionError, match="cannot be read"):
+            CheckpointStore(tmp_path / "never-written.ckpt").load()
+
+    def test_coordinator_surfaces_corruption_on_resume(self, tmp_path):
+        checkpoint = tmp_path / "run.ckpt"
+        with pytest.raises(CoordinatorAbortedError):
+            _coordinator(checkpoint).run(method="det+", abort_after_shards=1)
+        text = checkpoint.read_text()
+        checkpoint.write_text(text[: len(text) - 15])
+        with pytest.raises(CheckpointCorruptionError, match="truncated"):
+            _coordinator(checkpoint).run(method="det+")
+
+
+class TestMismatch:
+    def test_version_mismatch(self, tmp_path):
+        store = _valid_checkpoint(tmp_path)
+        lines = store.path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = CHECKPOINT_VERSION + 1
+        lines[0] = json.dumps(header)
+        store.path.write_text("".join(line + "\n" for line in lines))
+        with pytest.raises(CheckpointMismatchError, match="format version"):
+            store.load()
+
+    def test_fingerprint_mismatch(self, tmp_path):
+        store = _valid_checkpoint(tmp_path)
+        with pytest.raises(
+            CheckpointMismatchError, match="different computation"
+        ):
+            store.load(expected_fingerprint="something-else")
+
+    def test_coordinator_refuses_a_checkpoint_from_another_run(
+        self, tmp_path
+    ):
+        # same file, but the resumed run queries a different method — the
+        # fingerprint covers it, so resume must refuse rather than merge
+        checkpoint = tmp_path / "run.ckpt"
+        with pytest.raises(CoordinatorAbortedError):
+            _coordinator(checkpoint).run(method="det+", abort_after_shards=1)
+        with pytest.raises(
+            CheckpointMismatchError, match="different computation"
+        ):
+            _coordinator(checkpoint).run(method="naive")
+
+    def test_resume_false_overwrites_instead_of_refusing(self, tmp_path):
+        checkpoint = tmp_path / "run.ckpt"
+        with pytest.raises(CoordinatorAbortedError):
+            _coordinator(checkpoint).run(method="det+", abort_after_shards=1)
+        result = _coordinator(checkpoint, resume=False).run(method="naive")
+        assert result.supervision.resumed == 0
+        assert len(result.batch.reports) == 12
+
+
+class TestKillAndResume:
+    @settings(max_examples=6, deadline=None)
+    @given(kill_after=st.integers(min_value=1, max_value=5))
+    def test_resume_is_bit_identical_for_every_kill_point(self, kill_after):
+        # kill the coordinator after each possible number of durable
+        # shards; the resumed merge must equal the uninterrupted run's
+        # BatchResult field for field — reports, failures, cache counters
+        reference = _uninterrupted()
+        with tempfile.TemporaryDirectory() as scratch:
+            checkpoint = Path(scratch) / "run.ckpt"
+            with pytest.raises(CoordinatorAbortedError, match="aborted"):
+                _coordinator(checkpoint).run(
+                    method="det+", abort_after_shards=kill_after
+                )
+            resumed = _coordinator(checkpoint).run(method="det+")
+        assert resumed.batch == reference.batch
+        assert resumed.supervision.resumed == min(
+            kill_after, reference.supervision.shards
+        )
+
+    def test_resume_may_change_the_worker_count(self, tmp_path):
+        # the shard plan ignores the pool size precisely so that this
+        # works: interrupt at 2 workers, finish at 3, merge identically
+        reference = _uninterrupted()
+        checkpoint = tmp_path / "run.ckpt"
+        with pytest.raises(CoordinatorAbortedError):
+            _coordinator(checkpoint, workers=2).run(
+                method="det+", abort_after_shards=2
+            )
+        resumed = _coordinator(checkpoint, workers=3).run(method="det+")
+        assert resumed.batch.reports == reference.batch.reports
+        assert resumed.batch.cache_hits == reference.batch.cache_hits
+        assert resumed.batch.cache_misses == reference.batch.cache_misses
+
+    def test_fully_checkpointed_run_resumes_without_workers(self, tmp_path):
+        reference = _uninterrupted()
+        checkpoint = tmp_path / "run.ckpt"
+        first = _coordinator(checkpoint).run(method="det+")
+        again = _coordinator(checkpoint).run(method="det+")
+        assert first.batch == reference.batch
+        assert again.batch == reference.batch
+        assert again.supervision.resumed == first.supervision.shards
+        assert again.supervision.respawns == 0
+        assert again.supervision.heartbeats == 0
+
+    def test_abort_after_zero_shards_leaves_a_resumable_header(
+        self, tmp_path
+    ):
+        reference = _uninterrupted()
+        checkpoint = tmp_path / "run.ckpt"
+        with pytest.raises(CoordinatorAbortedError):
+            _coordinator(checkpoint).run(method="det+", abort_after_shards=0)
+        assert checkpoint.exists()
+        resumed = _coordinator(checkpoint).run(method="det+")
+        assert resumed.batch == reference.batch
+        assert resumed.supervision.resumed == 0

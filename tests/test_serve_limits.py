@@ -1,0 +1,306 @@
+"""Connection caps and client-side retry policy for the serving tier.
+
+Covers the two halves of the tier's new overload story: the server's
+``max_connections`` admission cap (over-cap connections get a fast 503
+with ``Retry-After`` before any request parsing) and the client's
+per-request timeout plus bounded retry — which must apply to idempotent
+requests only, because replaying an ``/edit`` whose connection died
+could apply it twice.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro.obs as obs
+from repro import Dataset, DynamicSkylineEngine, PreferenceModel
+from repro.errors import RetryExhaustedError, ServingError
+from repro.serve import ServeClient, ServeConfig, SkylineServer
+
+
+def _engine() -> DynamicSkylineEngine:
+    objects = [("a", "x"), ("a", "y"), ("b", "x"), ("b", "z")]
+    preferences = PreferenceModel(2, default=0.5)
+    preferences.set_preference(0, "a", "b", 0.7, 0.2)
+    preferences.set_preference(1, "x", "y", 0.55, 0.35)
+    preferences.set_preference(1, "x", "z", 0.8, 0.1)
+    return DynamicSkylineEngine(Dataset(objects), preferences)
+
+
+def _serve(test, config: ServeConfig | None = None):
+    """Run ``await test(server)`` against a fresh served engine."""
+
+    async def body():
+        server = SkylineServer(
+            _engine(),
+            config
+            or ServeConfig(port=0, window=0.01, observe=False),
+        )
+        await server.start()
+        try:
+            return await test(server)
+        finally:
+            await server.drain()
+
+    return asyncio.run(body())
+
+
+async def _raw_response(port: int) -> str:
+    """Connect, send nothing, read until the server closes."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        data = await asyncio.wait_for(reader.read(), timeout=5.0)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    return data.decode("latin-1")
+
+
+class TestMaxConnections:
+    def _capped(self, limit=1, retry_after=2.5):
+        return ServeConfig(
+            port=0,
+            window=0.01,
+            observe=False,
+            max_connections=limit,
+            retry_after=retry_after,
+        )
+
+    def test_over_cap_connection_gets_fast_503_with_retry_after(self):
+        async def check(server):
+            async with ServeClient("127.0.0.1", server.port) as client:
+                # a completed roundtrip guarantees the first connection
+                # is registered before the second one arrives
+                assert (await client.healthz()).status == 200
+                text = await _raw_response(server.port)
+            status_line, _, rest = text.partition("\r\n")
+            assert " 503 " in status_line
+            assert "retry-after: 2.5" in rest.lower()
+            assert "AdmissionRejectedError" in rest
+            assert "connection limit of 1" in rest
+
+        _serve(check, self._capped())
+
+    def test_connections_below_the_cap_are_served(self):
+        async def check(server):
+            async with ServeClient("127.0.0.1", server.port) as first:
+                assert (await first.healthz()).status == 200
+                async with ServeClient("127.0.0.1", server.port) as second:
+                    assert (await second.query(0)).status == 200
+
+        _serve(check, self._capped(limit=2))
+
+    def test_closing_a_connection_frees_its_admission_slot(self):
+        async def check(server):
+            async with ServeClient("127.0.0.1", server.port) as client:
+                assert (await client.healthz()).status == 200
+            # the slot is released once the server reaps the connection;
+            # a fresh client must eventually be admitted again
+            for _ in range(50):
+                async with ServeClient("127.0.0.1", server.port) as client:
+                    try:
+                        if (await client.healthz()).status == 200:
+                            return
+                    except (ConnectionError, ServingError):
+                        pass
+                await asyncio.sleep(0.02)
+            pytest.fail("admission slot was never released")
+
+        _serve(check, self._capped())
+
+    def test_rejections_are_counted_when_observing(self):
+        def run():
+            async def check(server):
+                async with ServeClient("127.0.0.1", server.port) as client:
+                    assert (await client.healthz()).status == 200
+                    await _raw_response(server.port)
+                    await _raw_response(server.port)
+
+            _serve(check, self._capped())
+
+        with obs.enabled() as registry:
+            registry.reset()
+            run()
+            rejected = registry.counter(
+                "repro_serve_rejected_connections_total"
+            ).value()
+        assert rejected == 2
+
+
+class _CountingServer:
+    """A fake server that closes every connection without responding."""
+
+    def __init__(self) -> None:
+        self.connections = 0
+        self._server: asyncio.AbstractServer | None = None
+
+    async def __aenter__(self) -> "_CountingServer":
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def _handle(self, reader, writer) -> None:
+        self.connections += 1
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+class _BlackholeServer(_CountingServer):
+    """Accepts connections and then never says anything."""
+
+    async def _handle(self, reader, writer) -> None:
+        self.connections += 1
+        try:
+            await asyncio.sleep(3600)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            writer.close()
+
+
+class TestClientRetries:
+    def test_timeout_and_retries_raise_retry_exhausted(self):
+        async def check():
+            async with _BlackholeServer() as fake:
+                client = ServeClient(
+                    "127.0.0.1",
+                    fake.port,
+                    timeout=0.05,
+                    max_retries=2,
+                    backoff=0.001,
+                    jitter=0.0,
+                )
+                with pytest.raises(RetryExhaustedError) as info:
+                    await client.request("GET", "/healthz")
+                await client.close()
+            assert info.value.attempts == 3
+            assert isinstance(info.value.last_error, asyncio.TimeoutError)
+
+        asyncio.run(check())
+
+    def test_idempotent_request_reconnects_per_attempt(self):
+        async def check():
+            async with _CountingServer() as fake:
+                client = ServeClient(
+                    "127.0.0.1",
+                    fake.port,
+                    max_retries=2,
+                    backoff=0.001,
+                    jitter=0.0,
+                )
+                with pytest.raises(RetryExhaustedError) as info:
+                    await client.query(0)
+                await client.close()
+                assert fake.connections == 3
+            assert isinstance(info.value.last_error, ConnectionError)
+
+        asyncio.run(check())
+
+    def test_edit_is_never_retried(self):
+        async def check():
+            async with _CountingServer() as fake:
+                client = ServeClient(
+                    "127.0.0.1", fake.port, max_retries=2, backoff=0.001
+                )
+                # the underlying error surfaces unchanged — no
+                # RetryExhaustedError wrapper, and exactly one connect:
+                # a dead connection cannot prove the edit was unapplied
+                with pytest.raises(ConnectionError):
+                    await client.edit("insert_object", values=["c", "x"])
+                await client.close()
+                assert fake.connections == 1
+
+        asyncio.run(check())
+
+    def test_drain_is_never_retried(self):
+        async def check():
+            async with _CountingServer() as fake:
+                client = ServeClient(
+                    "127.0.0.1", fake.port, max_retries=5, backoff=0.001
+                )
+                with pytest.raises(ConnectionError):
+                    await client.drain()
+                await client.close()
+                assert fake.connections == 1
+
+        asyncio.run(check())
+
+    def test_explicit_idempotent_flag_overrides_the_inference(self):
+        async def check():
+            async with _CountingServer() as fake:
+                client = ServeClient(
+                    "127.0.0.1",
+                    fake.port,
+                    max_retries=1,
+                    backoff=0.001,
+                    jitter=0.0,
+                )
+                # a caller vouching that its POST is replay-safe opts in
+                with pytest.raises(RetryExhaustedError):
+                    await client.request(
+                        "POST", "/edit", {"operation": "noop"},
+                        idempotent=True,
+                    )
+                assert fake.connections == 2
+                # and an override can also force a GET to fail fast
+                with pytest.raises(ConnectionError):
+                    await client.request("GET", "/healthz", idempotent=False)
+                await client.close()
+                assert fake.connections == 3
+
+        asyncio.run(check())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout": 0.0},
+            {"timeout": -1.0},
+            {"max_retries": -1},
+            {"max_retries": 1.5},
+            {"backoff": -0.1},
+            {"jitter": -0.5},
+        ],
+    )
+    def test_bad_client_configuration_is_rejected(self, kwargs):
+        with pytest.raises(ServingError):
+            ServeClient("127.0.0.1", 1, **kwargs)
+
+    def test_retry_succeeds_against_a_recovered_server(self):
+        # the real server, reached after one dead connection: the retry
+        # path must deliver the answer, not just a prettier error
+        async def check(server):
+            client = ServeClient(
+                "127.0.0.1",
+                server.port,
+                max_retries=2,
+                backoff=0.001,
+                jitter=0.0,
+            )
+            await client.connect()
+            # poison the client's current connection so the first
+            # attempt fails mid-flight and the retry reconnects
+            client._writer.close()
+            response = await client.healthz()
+            assert response.status == 200
+            await client.close()
+
+        _serve(check)
