@@ -1,0 +1,71 @@
+"""Benchmark: restricted skylines, shared pass vs per-restriction recompute.
+
+An elicitation session asks many restricted queries — shrinking
+shortlists, small attribute subspaces — against a slowly changing
+preference state.  The planner answers them from **one** full-dimension
+dominance pass per target, slices the factors per restriction, and
+memoises exact component solves across restrictions that share a
+dimension; the baseline recomputes every ``(target, restriction)`` pair
+through the engine.  The acceptance bar is a **2x speedup (ratio <=
+0.5)** once 8+ restrictions share a dimension, with bit-identical
+answers.  ``results/restricted_sharing.{json,md}`` records the measured
+ratios (``python -m repro.bench run restricted_sharing``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SkylineProbabilityEngine
+from repro.core.restricted import restricted_skyline_probabilities
+from repro.data.procedural import HashedPreferenceModel
+from repro.data.uniform import uniform_dataset
+from repro.util.rng import as_rng
+
+
+def make_workload(n=60, d=4, *, targets=8, variants=3, seed=7):
+    """Near-distinct uniform values; every restriction keeps dim 0."""
+    dataset = uniform_dataset(n, d, values_per_dimension=2 * n, seed=seed)
+    preferences = HashedPreferenceModel(d, seed=seed + 1)
+    rng = as_rng(seed + 2)
+    chosen = sorted(
+        int(i) for i in rng.choice(n, size=targets, replace=False)
+    )
+    subspaces = [[0]] + [[0, j] for j in range(1, d)]
+    restrictions = [(None, dims) for dims in subspaces]
+    for dims in subspaces:
+        for _ in range(variants):
+            subset = sorted(
+                int(i) for i in rng.choice(n, size=n // 3, replace=False)
+            )
+            restrictions.append((subset, dims))
+    return dataset, preferences, chosen, restrictions
+
+
+def answer(dataset, preferences, targets, restrictions, *, share_pass):
+    engine = SkylineProbabilityEngine(dataset, preferences)
+    return restricted_skyline_probabilities(
+        engine,
+        targets,
+        restrictions=restrictions,
+        method="det+",
+        share_pass=share_pass,
+    ).probabilities
+
+
+@pytest.mark.parametrize(
+    "share_pass", [False, True], ids=["per-restriction-recompute", "shared-pass"]
+)
+def test_restricted_sharing(benchmark, share_pass):
+    dataset, preferences, targets, restrictions = make_workload()
+    answers = benchmark.pedantic(
+        answer,
+        args=(dataset, preferences, targets, restrictions),
+        kwargs={"share_pass": share_pass},
+        rounds=3,
+        iterations=1,
+    )
+    # Sharing the pass must never change the answers.
+    assert answers == answer(
+        dataset, preferences, targets, restrictions, share_pass=False
+    )

@@ -38,6 +38,8 @@ from repro.core import (
     PreferenceModel,
     PreferencePair,
     PreprocessResult,
+    RestrictedResult,
+    Restriction,
     SamplingResult,
     SkylineProbabilityEngine,
     SkylineReport,
@@ -50,8 +52,11 @@ from repro.core import (
     expected_skyline_size,
     hoeffding_sample_size,
     joint_dominance_probability,
+    normalize_restriction,
     partition,
     preprocess,
+    restricted_skyline_probabilities,
+    restricted_skyline_probability_naive,
     skyline_probabilities_naive,
     skyline_probability_det,
     skyline_probability_naive,
@@ -106,6 +111,11 @@ __all__ = [
     "skyline_probability_naive",
     "skyline_probabilities_naive",
     "skyline_probability_sac",
+    "Restriction",
+    "RestrictedResult",
+    "normalize_restriction",
+    "restricted_skyline_probabilities",
+    "restricted_skyline_probability_naive",
     "bonferroni_bounds",
     "hoeffding_sample_size",
     "absorb",

@@ -9,6 +9,8 @@ Usage::
     python -m repro topk    --dataset d.json --preferences p.json -k 5 --pruned
     python -m repro info    --dataset d.json --preferences p.json
     python -m repro stats   --dataset d.json --preferences p.json --prometheus
+    python -m repro restricted --dataset d.json --preferences p.json \
+                            --targets 0,4 --competitors 1,2,3 --dims 0,2
     python -m repro dynamic --dataset d.json --preferences p.json \
                             --edits edits.json --verify
     python -m repro serve   --dataset d.json --preferences p.json --port 8642
@@ -342,6 +344,92 @@ def _cmd_dynamic(arguments: argparse.Namespace) -> int:
     return exit_code
 
 
+def _parse_index_list(text: str, what: str) -> List[int]:
+    try:
+        return [int(piece) for piece in text.split(",") if piece.strip() != ""]
+    except ValueError:
+        raise ReproError(
+            f"{what} must be a comma-separated list of integers, got {text!r}"
+        ) from None
+
+
+def _cmd_restricted(arguments: argparse.Namespace) -> int:
+    from repro.core.restricted import restricted_skyline_probabilities
+
+    dataset, preferences = _load_inputs(arguments)
+    engine = SkylineProbabilityEngine(dataset, preferences)
+    targets = _parse_index_list(arguments.targets, "--targets")
+    competitors = (
+        None
+        if arguments.competitors is None
+        else _parse_index_list(arguments.competitors, "--competitors")
+    )
+    dims = (
+        None
+        if arguments.dims is None
+        else _parse_index_list(arguments.dims, "--dims")
+    )
+    result = restricted_skyline_probabilities(
+        engine,
+        targets,
+        competitors=competitors,
+        dims=dims,
+        share_pass=not arguments.no_share,
+        **_query_options(arguments),
+    )
+    restriction = result.restrictions[0]
+    payload = {
+        "competitors": None
+        if restriction.competitors is None
+        else list(restriction.competitors),
+        "dims": None if restriction.dims is None else list(restriction.dims),
+        "shared_pass": result.shared_pass,
+        "factor_passes": result.factor_passes,
+        "component_solves": result.component_solves,
+        "component_hits": result.component_hits,
+        "answers": [
+            {
+                "target": target,
+                "label": dataset.label_of(target)
+                if isinstance(target, int)
+                else None,
+                "probability": report.probability,
+                "method": report.method,
+                "exact": report.exact,
+                "duplicate": report.duplicate_target,
+            }
+            for target, (report,) in zip(targets, result.reports)
+        ],
+    }
+    subset = (
+        "all competitors"
+        if restriction.competitors is None
+        else f"competitors {list(restriction.competitors)}"
+    )
+    subspace = (
+        "all dimensions"
+        if restriction.dims is None
+        else f"dimensions {list(restriction.dims)}"
+    )
+    lines = [
+        f"restricted skyline over {subset}, {subspace} "
+        f"(shared pass: {result.shared_pass}, "
+        f"factor passes: {result.factor_passes}, "
+        f"component solves: {result.component_solves}, "
+        f"hits: {result.component_hits})"
+    ]
+    lines += [
+        f"  {dataset.label_of(entry['target']):20s} "
+        f"sky = {entry['probability']:.6f} "
+        f"[method={entry['method']}, exact={entry['exact']}"
+        + (", projected duplicate" if entry["duplicate"] else "")
+        + "]"
+        for entry in payload["answers"]
+    ]
+    _emit(payload, arguments.json, lines)
+    return 0
+
+
 def _cmd_serve(arguments: argparse.Namespace) -> int:
     import asyncio
     import signal
@@ -553,6 +641,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "incremental view to match bit-for-bit (exit 3 on mismatch)",
     )
     dynamic.set_defaults(handler=_cmd_dynamic)
+
+    restricted = commands.add_parser(
+        "restricted",
+        help="restricted/subspace sky() of one or more objects against a "
+        "competitor subset and/or dimension subspace, factor pass shared "
+        "across targets",
+    )
+    add_common(restricted)
+    restricted.add_argument(
+        "--targets", required=True,
+        help="comma-separated object indices to query",
+    )
+    restricted.add_argument(
+        "--competitors", default=None,
+        help="comma-separated competitor indices (default: all objects)",
+    )
+    restricted.add_argument(
+        "--dims", default=None,
+        help="comma-separated dimension indices (default: all dimensions)",
+    )
+    restricted.add_argument(
+        "--no-share", action="store_true",
+        help="recompute each restriction independently through the engine "
+        "instead of sharing the dominance pass (differential baseline)",
+    )
+    restricted.set_defaults(handler=_cmd_restricted)
 
     serve = commands.add_parser(
         "serve",

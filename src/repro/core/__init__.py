@@ -45,13 +45,23 @@ from repro.core.exact import (
     DET_KERNELS,
     ExactResult,
     bonferroni_bounds,
+    det_from_factor_lists,
     inclusion_exclusion_layer_sums,
     skyline_probability_det,
 )
 from repro.core.naive import (
     enumerate_worlds,
+    restricted_skyline_probability_naive,
     skyline_probabilities_naive,
     skyline_probability_naive,
+)
+from repro.core.restricted import (
+    RestrictedResult,
+    Restriction,
+    materialize_competitor,
+    normalize_restriction,
+    restricted_skyline_probabilities,
+    slice_factors,
 )
 from repro.core.objects import Dataset, ObjectValues, Value, as_object
 from repro.core.preferences import PreferenceModel, PreferencePair
@@ -75,8 +85,10 @@ from repro.core.preprocess import (
     AbsorptionResult,
     PreprocessResult,
     absorb,
+    absorb_keys,
     drop_never_dominators,
     partition,
+    partition_keys,
     preprocess,
 )
 from repro.core.sampling import (
@@ -111,11 +123,19 @@ __all__ = [
     "DET_KERNELS",
     "ExactResult",
     "skyline_probability_det",
+    "det_from_factor_lists",
     "inclusion_exclusion_layer_sums",
     "bonferroni_bounds",
     "skyline_probability_naive",
     "skyline_probabilities_naive",
+    "restricted_skyline_probability_naive",
     "enumerate_worlds",
+    "Restriction",
+    "RestrictedResult",
+    "normalize_restriction",
+    "materialize_competitor",
+    "slice_factors",
+    "restricted_skyline_probabilities",
     "SamplingResult",
     "skyline_probability_sampled",
     "skyline_probability_sequential",
@@ -125,7 +145,9 @@ __all__ = [
     "AbsorptionResult",
     "PreprocessResult",
     "absorb",
+    "absorb_keys",
     "partition",
+    "partition_keys",
     "drop_never_dominators",
     "preprocess",
     "SkylineProbabilityEngine",

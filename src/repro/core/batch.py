@@ -516,6 +516,8 @@ def batch_skyline_probabilities(
     deadline: float | None = None,
     on_deadline: str = "degrade",
     max_overrun: float | None = None,
+    competitors: Sequence[int] | None = None,
+    dims: Sequence[int] | None = None,
     max_retries: int = 2,
     backoff: float = 0.05,
     on_error: str = "salvage",
@@ -577,6 +579,13 @@ def batch_skyline_probabilities(
         Hard ceiling (seconds) on how far past ``deadline`` the Det→Sam
         degradation fallback may run, forwarded to every query; see
         :meth:`SkylineProbabilityEngine.skyline_probability`.
+    competitors, dims:
+        Optional restriction applied to every query of the batch: a
+        competitor index subset and/or a dimension subspace, forwarded to
+        :meth:`SkylineProbabilityEngine.skyline_probability` (restricted
+        items are first-class batch work — same seed spawning, same
+        fault tolerance).  For many restrictions in one pass, use
+        :func:`repro.core.restricted.restricted_skyline_probabilities`.
     max_retries, backoff:
         Fault-tolerance budget per task: a failed dispatch (worker crash,
         ``BrokenProcessPool``, pickling error, injected chaos fault) is
@@ -680,6 +689,8 @@ def batch_skyline_probabilities(
         deadline=deadline,
         on_deadline=on_deadline,
         max_overrun=max_overrun,
+        competitors=None if competitors is None else tuple(competitors),
+        dims=None if dims is None else tuple(dims),
     )
     # One spawned stream per object: independent across objects, fixed by
     # (seed, position) alone — chunking and worker count cannot move them.

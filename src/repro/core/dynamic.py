@@ -64,6 +64,7 @@ from repro.core.engine import SkylineProbabilityEngine, SkylineReport
 from repro.core.objects import Dataset, ObjectValues, Value, as_object
 from repro.core.preferences import PreferenceModel
 from repro.core.preprocess import _differing_keys, partition, preprocess
+from repro.core.restricted import normalize_restriction
 from repro.errors import DatasetError, DimensionalityError, DuplicateObjectError, ReproError
 
 __all__ = [
@@ -75,6 +76,24 @@ __all__ = [
 ]
 
 _Key = Tuple[int, Value]
+
+
+@dataclass(frozen=True)
+class _RestrictedEntry:
+    """One memoised restricted answer with its invalidation scope.
+
+    ``read_keys`` is the union of the restriction's sliced differing
+    ``(dimension, value)`` keys — exactly the preference variables the
+    answer read, so a preference edit invalidates the entry iff it
+    touches one of them against the entry's target.  ``full_pool``
+    marks entries whose competitor pool is the whole dataset (an insert
+    grows that pool, so they cannot survive one).
+    """
+
+    report: SkylineReport
+    target: ObjectValues
+    read_keys: FrozenSet[_Key]
+    full_pool: bool
 
 #: Warm-view snapshot layout version (see
 #: :meth:`DynamicSkylineEngine.save_view`); bumped on layout changes so a
@@ -130,6 +149,9 @@ class EditReport:
     component solves, ``partitions_reused`` cached factors multiplied
     back, and ``cache_evictions`` surgically dropped
     :class:`DominanceCache` entries (preference edits only).
+    ``restricted_evictions`` counts memoised restricted answers dropped
+    because the edit touched their ``(dimension, value)`` keys or
+    competitor pool (see :meth:`DynamicSkylineEngine.restricted_skyline_probability`).
     """
 
     operation: str
@@ -138,6 +160,7 @@ class EditReport:
     partitions_recomputed: int
     partitions_reused: int
     cache_evictions: int
+    restricted_evictions: int = 0
 
 
 class DynamicSkylineEngine:
@@ -216,6 +239,9 @@ class DynamicSkylineEngine:
         for obj in self._objects:
             self._count_values(obj, +1)
         self._edits = 0
+        self._restricted_memo: Dict[object, _RestrictedEntry] = {}
+        self._restricted_hits = 0
+        self._restricted_misses = 0
         self._views: List[TargetView] = [
             self._compute_view(
                 self._objects[index],
@@ -306,6 +332,98 @@ class DynamicSkylineEngine:
         options.setdefault("cache", self._cache)
         return self._engine.skyline_probability(target, **options)
 
+    def restricted_skyline_probability(
+        self,
+        target: object,
+        *,
+        competitors: Sequence[int] | None = None,
+        dims: Sequence[int] | None = None,
+        method: str = "auto",
+        det_kernel: str | None = None,
+        epsilon: float = 0.01,
+        delta: float = 0.01,
+        samples: int | None = None,
+        seed: object = None,
+    ) -> SkylineReport:
+        """Restricted query with a ``(dimension, value)``-scoped memo.
+
+        Answers through the inner engine (so the result is exactly what
+        :meth:`skyline_probability` with the same ``competitors``/``dims``
+        returns) and memoises exact answers together with the set of
+        preference variables they read — the union of the restriction's
+        sliced differing keys.  Edits then invalidate *only* the
+        restrictions they touch: a preference edit on ``(dimension, a,
+        b)`` drops an entry iff its target holds ``a`` or ``b`` on that
+        dimension and the opposite value is among its read keys; an
+        insert drops only full-pool entries (an explicit competitor
+        subset is index-stable under append); a remove drops everything
+        (indices shift).  Sampled answers are never memoised.
+        """
+        restriction = normalize_restriction(
+            self._dataset, competitors=competitors, dims=dims
+        )
+        kernel = self._det_kernel if det_kernel is None else det_kernel
+        if isinstance(target, int):
+            self._check_index(target)
+            target_values = self._objects[target]
+            identity: Tuple[str, ObjectValues] = ("index", target_values)
+            excluded: int | None = target
+        else:
+            target_values = as_object(target)
+            identity = ("external", target_values)
+            excluded = None
+        memo_key = (identity, restriction.key, method, kernel)
+        entry = self._restricted_memo.get(memo_key)
+        if entry is not None:
+            self._restricted_hits += 1
+            return entry.report
+        self._restricted_misses += 1
+        report = self._engine.skyline_probability(
+            target,
+            method=method,
+            det_kernel=kernel,
+            cache=self._cache,
+            epsilon=epsilon,
+            delta=delta,
+            samples=samples,
+            seed=seed,
+            competitors=restriction.competitors,
+            dims=restriction.dims,
+        )
+        if report.exact:
+            pool = (
+                range(len(self._objects))
+                if restriction.competitors is None
+                else restriction.competitors
+            )
+            retained = (
+                None if restriction.dims is None else set(restriction.dims)
+            )
+            read_keys = set()
+            for position in pool:
+                if position == excluded:
+                    continue
+                for key in _differing_keys(
+                    self._objects[position], target_values
+                ):
+                    if retained is None or key[0] in retained:
+                        read_keys.add(key)
+            self._restricted_memo[memo_key] = _RestrictedEntry(
+                report,
+                target_values,
+                frozenset(read_keys),
+                restriction.competitors is None,
+            )
+        return report
+
+    def restricted_cache_info(self) -> dict:
+        """Restricted-memo snapshot: ``{"entries", "hits", "misses"}``."""
+        return {
+            "entries": len(self._restricted_memo),
+            "hits": self._restricted_hits,
+            "misses": self._restricted_misses,
+        }
+
     def batch(self, **options: object) -> object:
         """All-objects (or subset) answers through the batch planner.
 
@@ -373,8 +491,14 @@ class DynamicSkylineEngine:
         self._count_values(values, +1)
         self._views = staged + [own_view]
         self._rebind(new_objects)
+        # Full-pool restricted answers gained a competitor; explicit
+        # competitor subsets are index-stable under append and survive.
+        restricted = self._purge_restricted(
+            lambda entry: entry.full_pool
+        )
         return self._finish_edit(
-            "insert", refreshed, skipped, recomputed, reused, 0
+            "insert", refreshed, skipped, recomputed, reused, 0,
+            restricted,
         )
 
     def remove_object(self, target: int | Sequence[Value]) -> EditReport:
@@ -419,8 +543,12 @@ class DynamicSkylineEngine:
         self._count_values(removed, -1)
         self._views = staged
         self._rebind(new_objects)
+        # Dataset indices shifted: every restricted memo key may now
+        # name different competitors, so nothing can be kept.
+        restricted = self._purge_restricted(lambda entry: True)
         return self._finish_edit(
-            "remove", refreshed, skipped, recomputed, reused, 0
+            "remove", refreshed, skipped, recomputed, reused, 0,
+            restricted,
         )
 
     def update_preference(
@@ -500,8 +628,21 @@ class DynamicSkylineEngine:
         # Commit.
         for index, new_view in new_views.items():
             self._views[index] = new_view
+
+        def touched(entry: _RestrictedEntry) -> bool:
+            own = entry.target[dimension]
+            if own == a:
+                other: Value = b
+            elif own == b:
+                other = a
+            else:
+                return False
+            return (dimension, other) in entry.read_keys
+
+        restricted = self._purge_restricted(touched)
         return self._finish_edit(
-            "update_preference", refreshed, skipped, recomputed, reused, evicted
+            "update_preference", refreshed, skipped, recomputed, reused,
+            evicted, restricted,
         )
 
     # ------------------------------------------------------------------
@@ -616,6 +757,9 @@ class DynamicSkylineEngine:
             for obj in objects:
                 engine._count_values(obj, +1)
             engine._edits = int(raw["edits"])
+            engine._restricted_memo = {}
+            engine._restricted_hits = 0
+            engine._restricted_misses = 0
             views_payload = raw["views"]
             if len(views_payload) != len(objects):
                 raise DatasetError(
@@ -786,6 +930,17 @@ class DynamicSkylineEngine:
         )
         return self._assemble_view(target, merged), len(rebuilt), len(untouched)
 
+    def _purge_restricted(self, stale) -> int:
+        """Drop restricted-memo entries matching ``stale(entry)``."""
+        doomed = [
+            memo_key
+            for memo_key, entry in self._restricted_memo.items()
+            if stale(entry)
+        ]
+        for memo_key in doomed:
+            del self._restricted_memo[memo_key]
+        return len(doomed)
+
     def _rebind(self, objects: Sequence[ObjectValues]) -> None:
         """Rebuild the immutable dataset + inner engine after object edits."""
         self._dataset = Dataset(objects, labels=self._labels)
@@ -834,6 +989,7 @@ class DynamicSkylineEngine:
         recomputed: int,
         reused: int,
         evicted: int,
+        restricted_evicted: int = 0,
     ) -> EditReport:
         self._edits += 1
         report = EditReport(
@@ -843,6 +999,7 @@ class DynamicSkylineEngine:
             partitions_recomputed=recomputed,
             partitions_reused=reused,
             cache_evictions=evicted,
+            restricted_evictions=restricted_evicted,
         )
         _record_edit(report)
         return report

@@ -187,11 +187,29 @@ class SkylineProbabilityEngine:
         deadline: float | None = None,
         on_deadline: str = "degrade",
         max_overrun: float | None = None,
+        competitors: Sequence[int] | None = None,
+        dims: Sequence[int] | None = None,
     ) -> SkylineReport:
         """``sky(target)`` by the chosen method.
 
         ``target`` is either an index into the dataset or an object (which
         may be outside the dataset — then the whole dataset competes).
+
+        ``competitors``/``dims`` restrict the query (see
+        :func:`~repro.core.restricted.restricted_skyline_probabilities`
+        for the shared-pass planner over many restrictions):
+        ``competitors`` names the dataset indices allowed to compete (the
+        target index, when the target is an index, is dropped from its own
+        subset; an empty subset gives ``sky = 1`` exactly) and ``dims``
+        names the dimensions that participate in dominance.  Dimensions
+        outside ``dims`` are neutralised by materialising each competitor
+        with the target's own values there, so every method — including
+        sampling — answers the restricted question unchanged.  A
+        competitor that coincides with the target on every retained
+        dimension is a *projected duplicate* and forces ``sky = 0``
+        exactly, per the duplicate convention.  The restriction key is
+        part of the memo key, so full and restricted answers never
+        collide.
         ``epsilon``/``delta``/``samples``/``seed`` only matter for the
         sampling methods; the ``use_*`` switches only for the ``+``/
         ``auto`` methods (ablation hooks).  ``det_kernel`` picks the
@@ -235,7 +253,23 @@ class SkylineProbabilityEngine:
         pre-serving behaviour): the estimate's accuracy contract is then
         never silently weakened, at the price of an unbounded tail.
         """
-        competitors, target_values, duplicate = self._resolve_target(target)
+        restriction = None
+        if competitors is not None or dims is not None:
+            # Imported lazily: repro.core.restricted builds SkylineReport
+            # objects, so a top-level import would be circular.
+            from repro.core.restricted import normalize_restriction
+
+            restriction = normalize_restriction(
+                self._dataset, competitors=competitors, dims=dims
+            )
+            if restriction.is_full:
+                restriction = None  # the full query, just spelled out
+        if restriction is None:
+            competitors, target_values, duplicate = self._resolve_target(target)
+        else:
+            competitors, target_values, duplicate = self._resolve_restricted(
+                target, restriction
+            )
         if method not in METHODS:
             raise ReproError(
                 f"unknown method {method!r}; expected one of {METHODS}"
@@ -258,7 +292,8 @@ class SkylineProbabilityEngine:
         # the latter answers 0 by the duplicate convention).  The kernel
         # is part of the key because "vec" answers differ from the
         # recursive kernels in the last ulps — a memo hit must never
-        # cross kernels.
+        # cross kernels.  The restriction key (None for full queries)
+        # keeps restricted answers from ever colliding with full ones.
         cache_key = (
             target_values,
             duplicate,
@@ -266,6 +301,7 @@ class SkylineProbabilityEngine:
             use_absorption,
             use_partition,
             det_kernel,
+            None if restriction is None else restriction.key,
             self._preferences.version,
         )
         cached = self._exact_cache.get(cache_key)
@@ -738,6 +774,48 @@ class SkylineProbabilityEngine:
         competitors = list(self._dataset)
         duplicate = any(obj == values for obj in competitors)
         return competitors, values, duplicate
+
+    def _resolve_restricted(
+        self, target: int | Sequence[Value], restriction: object
+    ) -> Tuple[List[ObjectValues], ObjectValues, bool]:
+        """``(materialized competitors, target values, duplicate?)``.
+
+        The restricted twin of :meth:`_resolve_target`: the competitor
+        pool is the restriction's subset (minus the target's own index),
+        and each competitor is materialised with the target's values on
+        the dimensions outside the subspace — reducing the restricted
+        question to a full query every downstream algorithm already
+        answers.  ``duplicate`` is true when some materialised competitor
+        equals the target, which covers both genuine duplicates and
+        *projected* ones (equal on every retained dimension).
+        """
+        from repro.core.restricted import materialize_competitor
+
+        if isinstance(target, int):
+            target_values = self._dataset[target]
+            excluded = target if target >= 0 else len(self._dataset) + target
+        else:
+            target_values = as_object(target)
+            if len(target_values) != self._dataset.dimensionality:
+                raise DimensionalityError(
+                    f"target has {len(target_values)} dimensions, dataset "
+                    f"has {self._dataset.dimensionality}"
+                )
+            excluded = None
+        pool = (
+            range(len(self._dataset))
+            if restriction.competitors is None
+            else restriction.competitors
+        )
+        competitors = [
+            materialize_competitor(
+                self._dataset[position], target_values, restriction.dims
+            )
+            for position in pool
+            if position != excluded
+        ]
+        duplicate = any(values == target_values for values in competitors)
+        return competitors, target_values, duplicate
 
 
 def _record_query(stats: QueryStats) -> None:

@@ -48,6 +48,7 @@ __all__ = [
     "DET_KERNELS",
     "ExactResult",
     "skyline_probability_det",
+    "det_from_factor_lists",
     "inclusion_exclusion_layer_sums",
     "bonferroni_bounds",
 ]
@@ -234,6 +235,62 @@ def skyline_probability_det(
             result = _det_shared_reference(factor_lists, max_terms, deadline_at)
         else:
             result = _det_shared_fast(factor_lists)
+    _record_exact(result)
+    return result
+
+
+def det_from_factor_lists(
+    factor_lists: Sequence[Sequence[DominanceFactor]],
+    *,
+    max_objects: int = DEFAULT_MAX_OBJECTS,
+    kernel: str = "fast",
+    deadline_at: float | None = None,
+) -> ExactResult:
+    """Exact ``sky`` from precomputed per-competitor factor lists.
+
+    The factor-level twin of :func:`skyline_probability_det` for callers
+    that already hold each competitor's dominance factors — notably the
+    restriction planner, which computes full-dimension factors once and
+    *slices* them per subspace.  Semantics match the object-level entry
+    point exactly: an empty factor tuple means the competitor coincides
+    with the target on every dimension considered (duplicate convention,
+    ``sky = 0``), zero-factor competitors are dropped, and the surviving
+    count is guarded by ``max_objects``.
+    """
+    if kernel not in DET_KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {DET_KERNELS}"
+        )
+    _check_deadline(deadline_at, 0)
+    kept: List[Sequence[DominanceFactor]] = []
+    for factors in factor_lists:
+        if not factors:
+            obs.count(
+                "repro_duplicate_targets_total",
+                help_text=(
+                    "Queries answered 0 by the duplicate-target convention."
+                ),
+            )
+            return ExactResult(0.0, 0, 0)
+        if any(probability == 0.0 for _, _, probability in factors):
+            continue
+        kept.append(factors)
+    n = len(kept)
+    if n > max_objects:
+        raise ComputationBudgetError(
+            f"exact enumeration over {n} dominance events needs up to "
+            f"2^{n} terms, beyond the max_objects={max_objects} budget; "
+            f"preprocess (absorption/partition) or use sampling"
+        )
+    with obs.stage("exact"):
+        if kernel == "vec":
+            from repro.core.exact_vec import det_shared_vec
+
+            result = det_shared_vec(kept, deadline_at)
+        elif kernel != "fast" or deadline_at is not None:
+            result = _det_shared_reference(kept, None, deadline_at)
+        else:
+            result = _det_shared_fast(kept)
     _record_exact(result)
     return result
 

@@ -31,6 +31,7 @@ from repro.errors import ComputationBudgetError
 
 __all__ = [
     "skyline_probability_naive",
+    "restricted_skyline_probability_naive",
     "enumerate_worlds",
     "skyline_probabilities_naive",
     "World",
@@ -79,6 +80,74 @@ def skyline_probability_naive(
         raise ComputationBudgetError(
             f"naive enumeration needs 2^{pair_count} worlds, beyond the "
             f"max_pairs={max_pairs} guard"
+        )
+    total = 0.0
+    for mask in range(1 << pair_count):
+        world_probability = 1.0
+        for bit, probability in enumerate(probabilities):
+            world_probability *= (
+                probability if mask >> bit & 1 else 1.0 - probability
+            )
+            if world_probability == 0.0:
+                break
+        if world_probability == 0.0:
+            continue
+        dominated = any(
+            all(mask >> bit & 1 for bit in indices)
+            for indices in competitor_variables
+        )
+        if not dominated:
+            total += world_probability
+    return min(max(total, 0.0), 1.0)
+
+
+def restricted_skyline_probability_naive(
+    preferences: PreferenceModel,
+    competitors: Sequence[Sequence[Value]],
+    target: Sequence[Value],
+    *,
+    dims: Sequence[int] | None = None,
+    max_pairs: int = _DEFAULT_MAX_PAIRS,
+) -> float:
+    """``sky(target)`` within a dimension subspace, by 2^P enumeration.
+
+    Dominance is restricted to the dimensions in ``dims`` (``None`` keeps
+    all of them): a competitor dominates iff it is preferred on every
+    *retained* dimension where it differs from the target.  Competitor
+    subsetting is the caller's job — pass the subset.  A competitor whose
+    filtered factor list is empty coincides with the target on every
+    retained dimension (a *projected duplicate*) and dominates with
+    certainty under the duplicate convention, so the result is exactly 0.
+
+    Kept independent of the shared-pass planner on purpose: it enumerates
+    worlds rather than slicing cached factors, which makes it a usable
+    differential oracle for the restricted path.
+    """
+    retained = None if dims is None else frozenset(dims)
+    variable_index: Dict[Tuple[int, Value], int] = {}
+    probabilities: List[float] = []
+    competitor_variables: List[List[int]] = []
+    for q in competitors:
+        factors = dominance_factors(preferences, q, target)
+        if retained is not None:
+            factors = tuple(
+                factor for factor in factors if factor[0] in retained
+            )
+        if not factors:
+            return 0.0  # projected duplicate: dominated with certainty
+        indices = []
+        for dimension, value, probability in factors:
+            key = (dimension, value)
+            if key not in variable_index:
+                variable_index[key] = len(probabilities)
+                probabilities.append(probability)
+            indices.append(variable_index[key])
+        competitor_variables.append(indices)
+    pair_count = len(probabilities)
+    if pair_count > max_pairs:
+        raise ComputationBudgetError(
+            f"naive restricted enumeration needs 2^{pair_count} worlds, "
+            f"beyond the max_pairs={max_pairs} guard"
         )
     total = 0.0
     for mask in range(1 << pair_count):

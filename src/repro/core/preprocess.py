@@ -40,7 +40,9 @@ __all__ = [
     "AbsorptionResult",
     "PreprocessResult",
     "absorb",
+    "absorb_keys",
     "partition",
+    "partition_keys",
     "drop_never_dominators",
     "preprocess",
 ]
@@ -94,12 +96,25 @@ def absorb(
     target = as_object(target)
     objects = [as_object(q) for q in competitors]
     keys = [_differing_keys(q, target) for q in objects]
+    return absorb_keys(keys)
+
+
+def absorb_keys(
+    keys: Sequence[Tuple[_DifferingKey, ...]],
+) -> AbsorptionResult:
+    """Absorption on precomputed ``Γ`` key tuples, one per competitor.
+
+    This is the index-accelerated core of :func:`absorb`, factored out so
+    callers that already hold each competitor's differing keys (e.g. the
+    restriction planner, which *slices* full-dimension keys per subspace)
+    can run the identical pass without rebuilding objects.
+    """
     # Inverted index: (dimension, value) -> alive competitor positions.
     buckets: Dict[_DifferingKey, Set[int]] = {}
     for position, gamma in enumerate(keys):
         for key in gamma:
             buckets.setdefault(key, set()).add(position)
-    alive = [True] * len(objects)
+    alive = [True] * len(keys)
     absorbed_by: Dict[int, int] = {}
     for position, gamma in enumerate(keys):
         if not alive[position] or not gamma:
@@ -149,13 +164,27 @@ def partition(
     absorption survivors).
     """
     target = as_object(target)
+    keys = [_differing_keys(as_object(q), target) for q in competitors]
+    return partition_keys(keys, indices)
+
+
+def partition_keys(
+    keys: Sequence[Tuple[_DifferingKey, ...]],
+    indices: Sequence[int] | None = None,
+) -> List[List[int]]:
+    """Value-disjoint components over precomputed ``Γ`` key tuples.
+
+    The union-find core of :func:`partition`, shared with callers that
+    slice full-dimension keys per subspace (restriction planning) and must
+    reproduce the exact same component structure per slice.
+    """
     if indices is None:
-        indices = range(len(competitors))
+        indices = range(len(keys))
     union_find: UnionFind = UnionFind()
     anchor: Dict[_DifferingKey, int] = {}
     for position in indices:
         union_find.add(position)
-        for key in _differing_keys(as_object(competitors[position]), target):
+        for key in keys[position]:
             if key in anchor:
                 union_find.union(anchor[key], position)
             else:

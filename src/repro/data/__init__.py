@@ -1,8 +1,14 @@
 """Workloads: the paper's synthetic generators (uniform, block-zipf),
-the exact Nursery reconstruction, preference generators, and the two
-worked examples used throughout the paper."""
+the exact Nursery reconstruction, preference generators, elicitation
+sessions (edit scripts with interleaved restricted queries), and the
+two worked examples used throughout the paper."""
 
 from repro.data.blockzipf import block_zipf_dataset, default_block_count
+from repro.data.elicitation import (
+    ElicitationSession,
+    elicitation_session,
+    replay_session,
+)
 from repro.data.examples import (
     OBSERVATION_SAC_PROBABILITIES,
     OBSERVATION_SKYLINE_PROBABILITIES,
@@ -45,6 +51,9 @@ __all__ = [
     "ordered_values",
     "HashedPreferenceModel",
     "LazyRankedPreferenceModel",
+    "ElicitationSession",
+    "elicitation_session",
+    "replay_session",
     "observation_example",
     "running_example",
     "OBSERVATION_SKYLINE_PROBABILITIES",

@@ -1,0 +1,209 @@
+"""Elicitation-session workloads: edit scripts with restricted queries.
+
+Preference elicitation alternates two moves: the system *sharpens* an
+uncertain pair (an ``update_preference`` edit nudging ``Pr(a ≻ b)``
+toward certainty, as answers come in) and the user *inspects* a
+shortlist (a restricted skyline query over a competitor subset and/or
+an attribute subspace — "how do these three hotels compare on price and
+rating, given what you told me so far?").  A session is therefore an
+ordinary ``dynamic`` edit script with restricted queries interleaved
+between the edits, which is exactly the access pattern the restricted
+planner's shared dominance pass and the dynamic engine's restricted
+memo are built for.
+
+:func:`elicitation_session` generates such a session reproducibly;
+:func:`replay_session` runs one through a
+:class:`~repro.core.dynamic.DynamicSkylineEngine` and returns every
+restricted answer in step order.  The step dictionaries use the same
+JSON shapes as ``python -m repro dynamic --edits`` (queries carry
+``"op": "restricted_query"`` and are skipped by :meth:`edit_script`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.objects import Dataset
+from repro.core.preferences import PreferenceModel
+from repro.errors import DatasetError, ReproError
+from repro.util.rng import as_rng
+
+__all__ = [
+    "ElicitationSession",
+    "elicitation_session",
+    "replay_session",
+]
+
+
+@dataclass(frozen=True)
+class ElicitationSession:
+    """One generated session: starting state plus an ordered step list.
+
+    ``steps`` holds ``update_preference`` edits and
+    ``restricted_query`` entries in interleaved order.  ``dataset`` and
+    ``preferences`` are the state *before* the first step; replaying the
+    edits in order reproduces the session's preference trajectory.
+    """
+
+    dataset: Dataset
+    preferences: PreferenceModel
+    steps: Tuple[Dict[str, object], ...]
+
+    def edit_script(self) -> List[Dict[str, object]]:
+        """The edits alone — a valid ``python -m repro dynamic`` script."""
+        return [
+            dict(step) for step in self.steps if step["op"] != "restricted_query"
+        ]
+
+    def queries(self) -> List[Dict[str, object]]:
+        """The restricted queries alone, in session order."""
+        return [
+            dict(step) for step in self.steps if step["op"] == "restricted_query"
+        ]
+
+
+def elicitation_session(
+    dataset: Dataset,
+    preferences: PreferenceModel,
+    *,
+    rounds: int = 8,
+    queries_per_round: int = 2,
+    max_competitors: Optional[int] = None,
+    max_dims: Optional[int] = None,
+    seed: object = None,
+) -> ElicitationSession:
+    """Generate one elicitation session over the given starting state.
+
+    Each of the ``rounds`` rounds emits one sharpening
+    ``update_preference`` edit (a random comparable value pair on a
+    random dimension is pulled toward certainty) followed by
+    ``queries_per_round`` restricted queries.  A query picks a random
+    target, a competitor subset of at most ``max_competitors`` other
+    objects (occasionally ``None`` — all competitors), and a dimension
+    subspace of at most ``max_dims`` dimensions (occasionally ``None``
+    — the full space), so full, subset-only, subspace-only and combined
+    restrictions all occur.  The original ``preferences`` model is
+    copied, never mutated.
+    """
+    if dataset.cardinality < 2:
+        raise DatasetError(
+            "an elicitation session needs at least two objects to compare"
+        )
+    if rounds < 1 or queries_per_round < 0:
+        raise ReproError(
+            f"need rounds >= 1 and queries_per_round >= 0, got "
+            f"rounds={rounds!r}, queries_per_round={queries_per_round!r}"
+        )
+    rng = as_rng(seed)
+    dimensionality = dataset.dimensionality
+    values_on = [sorted(dataset.values_on(j), key=repr) for j in range(dimensionality)]
+    sharpenable = [j for j in range(dimensionality) if len(values_on[j]) >= 2]
+    if not sharpenable:
+        raise DatasetError(
+            "an elicitation session needs a dimension with at least two "
+            "distinct values to sharpen"
+        )
+    competitor_cap = (
+        dataset.cardinality - 1
+        if max_competitors is None
+        else max(1, min(max_competitors, dataset.cardinality - 1))
+    )
+    dimension_cap = (
+        dimensionality if max_dims is None else max(1, min(max_dims, dimensionality))
+    )
+    steps: List[Dict[str, object]] = []
+    for _ in range(rounds):
+        dimension = sharpenable[int(rng.integers(len(sharpenable)))]
+        a, b = rng.choice(len(values_on[dimension]), size=2, replace=False)
+        a, b = values_on[dimension][int(a)], values_on[dimension][int(b)]
+        # Sharpen toward certainty: elicited answers concentrate mass.
+        forward = float(rng.uniform(0.75, 1.0))
+        steps.append(
+            {
+                "op": "update_preference",
+                "dimension": dimension,
+                "a": a,
+                "b": b,
+                "forward": forward,
+                "backward": round(1.0 - forward, 12),
+            }
+        )
+        for _ in range(queries_per_round):
+            target = int(rng.integers(dataset.cardinality))
+            others = [i for i in range(dataset.cardinality) if i != target]
+            competitors: Optional[List[int]]
+            if rng.random() < 0.25:
+                competitors = None
+            else:
+                size = int(rng.integers(1, competitor_cap + 1))
+                chosen = rng.choice(len(others), size=size, replace=False)
+                competitors = sorted(others[int(i)] for i in chosen)
+            dims: Optional[List[int]]
+            if rng.random() < 0.25:
+                dims = None
+            else:
+                size = int(rng.integers(1, dimension_cap + 1))
+                chosen = rng.choice(dimensionality, size=size, replace=False)
+                dims = sorted(int(j) for j in chosen)
+            steps.append(
+                {
+                    "op": "restricted_query",
+                    "target": target,
+                    "competitors": competitors,
+                    "dims": dims,
+                }
+            )
+    return ElicitationSession(dataset, preferences.copy(), tuple(steps))
+
+
+def replay_session(
+    session: ElicitationSession,
+    *,
+    method: str = "auto",
+    engine: object = None,
+) -> List[Dict[str, object]]:
+    """Replay a session through the dynamic engine, answering each query.
+
+    Returns one record per ``restricted_query`` step —
+    ``{"step", "target", "competitors", "dims", "probability", "exact"}``
+    in session order.  Pass ``engine`` to replay onto an existing
+    :class:`~repro.core.dynamic.DynamicSkylineEngine` (it must hold the
+    session's starting state); by default a fresh one is built.
+    """
+    from repro.core.dynamic import DynamicSkylineEngine
+
+    if engine is None:
+        engine = DynamicSkylineEngine(
+            session.dataset, session.preferences.copy()
+        )
+    answers: List[Dict[str, object]] = []
+    for position, step in enumerate(session.steps):
+        if step["op"] == "update_preference":
+            engine.update_preference(
+                step["dimension"],
+                step["a"],
+                step["b"],
+                step["forward"],
+                step["backward"],
+            )
+        elif step["op"] == "restricted_query":
+            report = engine.restricted_skyline_probability(
+                step["target"],
+                competitors=step["competitors"],
+                dims=step["dims"],
+                method=method,
+            )
+            answers.append(
+                {
+                    "step": position,
+                    "target": step["target"],
+                    "competitors": step["competitors"],
+                    "dims": step["dims"],
+                    "probability": report.probability,
+                    "exact": report.exact,
+                }
+            )
+        else:  # pragma: no cover - generator only emits the two kinds
+            raise ReproError(f"unknown session step {step!r}")
+    return answers

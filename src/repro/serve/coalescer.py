@@ -72,7 +72,14 @@ COALESCE_OPTION_FIELDS = (
     "deadline",
     "on_deadline",
     "max_overrun",
+    "competitors",
+    "dims",
 )
+
+#: Fields whose values are restriction sequences: normalised to sorted
+#: tuples before keying, so a JSON list and a tuple bucket identically
+#: and a restricted query can never share a bucket with a full one.
+_SEQUENCE_FIELDS = ("competitors", "dims")
 
 _OPTION_DEFAULTS: Dict[str, object] = {
     "method": "auto",
@@ -85,6 +92,8 @@ _OPTION_DEFAULTS: Dict[str, object] = {
     "deadline": None,
     "on_deadline": "degrade",
     "max_overrun": None,
+    "competitors": None,
+    "dims": None,
 }
 
 #: Batch-size histogram buckets (requests per coalesced batch).
@@ -270,6 +279,17 @@ class QueryCoalescer:
             )
         merged = dict(_OPTION_DEFAULTS)
         merged.update(options)
+        for field in _SEQUENCE_FIELDS:
+            value = merged[field]
+            if value is None:
+                continue
+            try:
+                merged[field] = tuple(sorted(set(value)))
+            except TypeError:
+                raise ServingError(
+                    f"query option {field!r} must be a sequence of "
+                    f"integers or null, got {value!r}"
+                ) from None
         key = tuple(merged[field] for field in COALESCE_OPTION_FIELDS)
         try:
             hash(key)

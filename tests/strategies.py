@@ -12,6 +12,7 @@ __all__ = [
     "shared_value_instance",
     "edit_script",
     "apply_edit",
+    "restricted_instance",
 ]
 
 
@@ -176,6 +177,74 @@ def apply_edit(engine, edit):
     if kind == "update_preference":
         return engine.update_preference(*edit[1:])
     raise ValueError(f"unknown edit kind {kind!r}")
+
+
+@st.composite
+def restricted_instance(draw):
+    """A dataset plus one ``(competitor subset, dimension subspace)`` pair.
+
+    Returns ``(preferences, objects, target, competitors, dims)`` where
+    ``objects`` is a list of distinct tuples, ``target`` an index into
+    it, ``competitors`` either ``None`` (all objects) or a sorted list
+    of object indices that *may include the target* (the planner must
+    exclude it), and ``dims`` either ``None`` (the full space) or a
+    sorted non-empty list of dimension indices.  Value pools are small
+    (4 values per dimension) so subspace projections frequently collide
+    into projected duplicates — the sky = 0 degenerate the restricted
+    semantics must get exactly right.
+    """
+    d = draw(st.integers(min_value=1, max_value=3))
+    n = draw(st.integers(min_value=2, max_value=6))
+    values = [[f"o{j}", f"a{j}", f"b{j}", f"c{j}"] for j in range(d)]
+    preferences = PreferenceModel(d)
+    grid = [0.0, 0.25, 0.5, 0.75, 1.0]
+    for j in range(d):
+        names = values[j]
+        for x in range(len(names)):
+            for y in range(x + 1, len(names)):
+                forward = draw(st.sampled_from(grid))
+                backward = draw(
+                    st.sampled_from([p for p in grid if p + forward <= 1.0])
+                )
+                preferences.set_preference(
+                    j, names[x], names[y], forward, backward
+                )
+    objects = []
+    seen = set()
+    for _ in range(n):
+        candidate = tuple(
+            values[j][draw(st.integers(min_value=0, max_value=3))]
+            for j in range(d)
+        )
+        if candidate not in seen:
+            seen.add(candidate)
+            objects.append(candidate)
+    target = draw(st.integers(min_value=0, max_value=len(objects) - 1))
+    if draw(st.booleans()):
+        competitors = None
+    else:
+        competitors = sorted(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=len(objects) - 1),
+                    min_size=0,
+                    max_size=len(objects),
+                )
+            )
+        )
+    if draw(st.booleans()):
+        dims = None
+    else:
+        dims = sorted(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=d - 1),
+                    min_size=1,
+                    max_size=d,
+                )
+            )
+        )
+    return preferences, objects, target, competitors, dims
 
 
 @st.composite

@@ -126,6 +126,44 @@ class DynamicEditMachine(RuleBasedStateMachine):
         report = self.engine.skyline_probability(index, method="det+")
         assert report.probability == self.engine.view(index).probability
 
+    @rule(
+        raw=st.integers(min_value=0, max_value=10**6),
+        subset_mask=st.integers(min_value=0, max_value=10**6),
+        dims_mask=st.integers(min_value=1, max_value=2**_D - 1),
+        restrict_pool=st.booleans(),
+        restrict_dims=st.booleans(),
+    )
+    def query_restricted_matches_fresh_rebuild(
+        self, raw, subset_mask, dims_mask, restrict_pool, restrict_dims
+    ):
+        # Post-edit restricted answers must match what a fresh engine
+        # rebuilt from the current state computes for the same
+        # restriction — the memo's invalidation rules on trial.
+        target = raw % len(self.objects)
+        competitors = None
+        if restrict_pool:
+            competitors = [
+                index
+                for index in range(len(self.objects))
+                if subset_mask >> index & 1
+            ]
+        dims = None
+        if restrict_dims:
+            dims = [j for j in range(_D) if dims_mask >> j & 1]
+        warm = self.engine.restricted_skyline_probability(
+            target, competitors=competitors, dims=dims, method="det+"
+        )
+        fresh = _rebuild(self.engine).restricted_skyline_probability(
+            target, competitors=competitors, dims=dims, method="det+"
+        )
+        assert warm.probability == fresh.probability
+        assert warm.exact == fresh.exact
+        # And the warm memo must serve the same answer back.
+        again = self.engine.restricted_skyline_probability(
+            target, competitors=competitors, dims=dims, method="det+"
+        )
+        assert again.probability == warm.probability
+
     # -- the differential invariant ------------------------------------
     @invariant()
     def view_matches_fresh_rebuild(self):
